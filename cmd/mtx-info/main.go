@@ -1,0 +1,103 @@
+// Command mtx-info prints structural statistics and per-format encoded
+// sizes for a Matrix Market file — a single-matrix Table I row.
+//
+// Usage:
+//
+//	mtx-info matrix.mtx [matrix2.mtx ...]
+//	mtx-info -formats matrix.mtx     # also encode CSX/CSX-Sym and report C.R.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	symspmv "repro"
+	"repro/internal/core"
+	"repro/internal/csx"
+	"repro/internal/matrix"
+)
+
+func main() {
+	formats := flag.Bool("formats", false, "encode all formats and report sizes")
+	threads := flag.Int("threads", 4, "worker threads for format encoding")
+	dump := flag.Int("dump", 0, "dump the first N CSX-Sym ctl units (teaching/debug aid)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: mtx-info [-formats] file.mtx ...")
+	}
+	for _, path := range flag.Args() {
+		A, err := symspmv.ReadMatrixMarketFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := A.Stats()
+		fmt.Printf("%s:\n  %s\n", path, st)
+		if *dump > 0 {
+			if err := dumpUnits(path, *dump); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if !*formats {
+			continue
+		}
+		for _, f := range []symspmv.Format{
+			symspmv.CSR, symspmv.CSX, symspmv.SSSIndexed, symspmv.CSXSym,
+		} {
+			k, err := A.Kernel(f, symspmv.Threads(*threads))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s %12d bytes  C.R. %5.1f%%\n",
+				f, k.Bytes(), 100*(1-float64(k.Bytes())/float64(st.CSRBytes)))
+			k.Close()
+		}
+	}
+}
+
+// dumpUnits re-reads the matrix at the internal level and prints the head
+// of its serially encoded CSX-Sym ctl stream.
+func dumpUnits(path string, n int) error {
+	c, err := matrix.ReadMatrixMarketFile(path)
+	if err != nil {
+		return err
+	}
+	if !c.Symmetric {
+		if c, err = c.ToLowerSymmetric(); err != nil {
+			return err
+		}
+	}
+	s, err := core.FromCOO(c)
+	if err != nil {
+		return err
+	}
+	sm := csx.NewSym(s, 1, core.Indexed, csx.DefaultOptions())
+	fmt.Printf("  first %d ctl units (serial encoding):\n", n)
+	fmt.Print(indent(csx.UnitDump(sm.Blobs[0], n)))
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		if line != "" {
+			out += "    " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,62 @@
+// Command spmv-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spmv-bench -exp fig9                 # one experiment
+//	spmv-bench -exp all -scale 0.1      # the whole evaluation
+//	spmv-bench -exp host                 # wall-clock measurement on this host
+//	spmv-bench -list                     # available experiments
+//
+// Modeled experiments build every data structure for real (encoding,
+// symbolic analysis, reordering) and evaluate timing through the platform
+// performance model of internal/perfmodel; host experiments time the real
+// kernels on the machine running the command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see -list)")
+		scale    = flag.Float64("scale", 0.1, "suite scale: 1.0 = the paper's matrix sizes")
+		matrices = flag.String("matrices", "", "comma-separated subset of suite matrices (default all 12)")
+		iters    = flag.Int("iters", 128, "SpM×V operations per measurement (§V-A protocol)")
+		cgIters  = flag.Int("cg-iters", 2048, "CG iterations for fig14")
+		csvDir   = flag.String("csv", "", "also write each result table as CSV into this directory")
+		list     = flag.Bool("list", false, "list experiments and suite matrices, then exit")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(harness.ExperimentNames(), " "))
+		return
+	}
+
+	cfg := harness.Config{
+		Scale:        *scale,
+		Iterations:   *iters,
+		CGIterations: *cgIters,
+	}
+	if *matrices != "" {
+		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	var extra []string
+	if *csvDir != "" {
+		extra = append(extra, *csvDir)
+	}
+	if err := harness.Run(*exp, cfg, os.Stdout, extra...); err != nil {
+		fmt.Fprintln(os.Stderr, "spmv-bench:", err)
+		os.Exit(1)
+	}
+}

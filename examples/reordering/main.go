@@ -1,0 +1,89 @@
+// Reordering: demonstrate the §V-D effect — RCM bandwidth reduction on a
+// high-bandwidth matrix shrinks the symmetric kernel's conflict index and
+// speeds up the whole suite of formats.
+//
+// Usage: go run ./examples/reordering [-matrix G3_circuit] [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	symspmv "repro"
+)
+
+func main() {
+	name := flag.String("matrix", "G3_circuit", "suite matrix name")
+	scale := flag.Float64("scale", 0.02, "suite scale (1.0 = paper size)")
+	threads := flag.Int("threads", 4, "worker threads")
+	iters := flag.Int("iters", 32, "SpM×V operations to time")
+	flag.Parse()
+
+	A, err := symspmv.GenerateSuiteMatrix(*name, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original : %s\n", A.Stats())
+
+	R, _, err := A.ReorderRCM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after RCM: %s\n", R.Stats())
+	fmt.Printf("bandwidth: %d -> %d (%.1fx reduction)\n\n",
+		A.Stats().Bandwidth, R.Stats().Bandwidth,
+		float64(A.Stats().Bandwidth)/float64(R.Stats().Bandwidth))
+
+	for _, f := range []symspmv.Format{symspmv.CSR, symspmv.SSSIndexed, symspmv.CSXSym} {
+		before := timeSpMV(A, f, *threads, *iters)
+		after := timeSpMV(R, f, *threads, *iters)
+		fmt.Printf("%-12s %10v/op -> %10v/op  (%.1f%% improvement, host-measured)\n",
+			f, before.Round(time.Microsecond), after.Round(time.Microsecond),
+			100*(before.Seconds()/after.Seconds()-1))
+	}
+}
+
+func timeSpMV(A *symspmv.Matrix, f symspmv.Format, threads, iters int) time.Duration {
+	k, err := A.Kernel(f, symspmv.Threads(threads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer k.Close()
+	n := A.N()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) / 13
+	}
+	k.MulVec(x, y) // warm-up
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		k.MulVec(x, y)
+		x, y = y, x
+		if it%8 == 7 {
+			rescale(x)
+		}
+	}
+	return time.Since(t0) / time.Duration(iters)
+}
+
+// rescale keeps the iterated vector bounded (A is applied repeatedly).
+func rescale(v []float64) {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		} else if -x > m {
+			m = -x
+		}
+	}
+	if m == 0 {
+		return
+	}
+	inv := 1 / m
+	for i := range v {
+		v[i] *= inv
+	}
+}

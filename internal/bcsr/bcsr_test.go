@@ -1,0 +1,183 @@
+package bcsr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func randomSym(rng *rand.Rand, n, offPerRow int) *matrix.COO {
+	m := matrix.NewCOO(n, n, n*(offPerRow+1))
+	m.Symmetric = true
+	for r := 0; r < n; r++ {
+		m.Add(r, r, 2+rng.Float64())
+		for k := 0; k < offPerRow && r > 0; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	return m.Normalize()
+}
+
+func TestMulVecMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{1, 7, 64, 301} {
+		m := randomSym(rng, n, 3)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		m.MulVec(x, want)
+		for _, blk := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 2}, {3, 5}} {
+			a, err := FromCOO(m, blk[0], blk[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, n)
+			a.MulVec(x, got)
+			for i := range want {
+				if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d block=%v: row %d: %g vs %g", n, blk, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	m := randomSym(rng, 400, 4)
+	a, err := FromCOO(m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 400)
+	a.MulVec(x, want)
+	for _, p := range []int{1, 2, 7, 16} {
+		pool := parallel.NewPool(p)
+		pk := NewParallel(a, pool)
+		got := make([]float64, 400)
+		pk.MulVec(x, got)
+		pk.MulVec(x, got) // reuse scratch buffers
+		pool.Close()
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("p=%d row %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestBlockStructureOnDenseBlocks(t *testing.T) {
+	// A matrix made of exact 3x3 dense blocks must incur zero fill at 3x3.
+	m := matrix.NewCOO(9, 9, 27)
+	m.Symmetric = true
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j <= i; j++ {
+				m.Add(3*b+i, 3*b+j, 1)
+			}
+		}
+	}
+	m.Normalize()
+	a, err := FromCOO(m, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks() != 3 {
+		t.Fatalf("Blocks = %d, want 3", a.Blocks())
+	}
+	if fr := a.FillRatio(); fr != 1.0 {
+		t.Fatalf("FillRatio = %g, want 1.0 (aligned dense blocks)", fr)
+	}
+}
+
+func TestFillRatioGrowsOnScattered(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	m := randomSym(rng, 300, 2)
+	a1, _ := FromCOO(m, 1, 1)
+	a4, _ := FromCOO(m, 4, 4)
+	if a1.FillRatio() != 1.0 {
+		t.Fatalf("1x1 FillRatio = %g", a1.FillRatio())
+	}
+	if a4.FillRatio() <= 1.5 {
+		t.Fatalf("4x4 FillRatio = %g; scattered matrix should fill heavily", a4.FillRatio())
+	}
+}
+
+func TestAutoTunePrefersNativeBlockSize(t *testing.T) {
+	// Dense aligned 3x3 blocks along a band: 3x3 must win the size contest.
+	rng := rand.New(rand.NewSource(104))
+	m := matrix.NewCOO(300, 300, 300*12)
+	m.Symmetric = true
+	for b := 1; b < 100; b++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m.Add(3*b+i, 3*(b-1)+j, rng.NormFloat64())
+			}
+			m.Add(3*b+i, 3*b+i, 5)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m.Add(i, i, 5)
+	}
+	m.Normalize()
+	br, bc, err := AutoTune(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 3 || bc != 3 {
+		t.Fatalf("AutoTune chose %dx%d, want 3x3", br, bc)
+	}
+}
+
+func TestFromCOORejectsBadBlocks(t *testing.T) {
+	m := randomSym(rand.New(rand.NewSource(105)), 10, 1)
+	if _, err := FromCOO(m, 0, 3); err == nil {
+		t.Fatal("accepted 0 block rows")
+	}
+	if _, err := FromCOO(m, 3, 99); err == nil {
+		t.Fatal("accepted oversized block")
+	}
+}
+
+// Property: BCSR multiply agrees with the reference for random shapes and
+// block sizes, including non-divisible edges.
+func TestQuickBCSRMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		m := randomSym(rng, n, rng.Intn(4))
+		br := 1 + rng.Intn(6)
+		bc := 1 + rng.Intn(6)
+		a, err := FromCOO(m, br, bc)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		m.MulVec(x, want)
+		a.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package cg implements the non-preconditioned Conjugate Gradient method
+// (Alg. 1 in the paper) over any SpM×V kernel, with per-phase wall-clock
+// instrumentation (SpM×V vs vector operations vs format preprocessing) —
+// the measurement Fig. 14 reports.
+package cg
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/vec"
+)
+
+// MulVecer is the SpM×V interface CG consumes: every storage format in the
+// library provides it (directly or through a small adapter).
+type MulVecer interface {
+	MulVec(x, y []float64)
+}
+
+// MulVecFunc adapts a function to MulVecer.
+type MulVecFunc func(x, y []float64)
+
+// MulVec implements MulVecer.
+func (f MulVecFunc) MulVec(x, y []float64) { f(x, y) }
+
+// Options controls the solver run.
+type Options struct {
+	// MaxIter caps the iterations; 0 means 10·N.
+	MaxIter int
+	// Tol is the relative residual target ‖r‖/‖b‖; 0 means 1e-10.
+	Tol float64
+	// FixedIterations forces exactly MaxIter iterations regardless of
+	// convergence (the paper's Fig. 14 runs a fixed 2048 iterations so that
+	// every format does identical work).
+	FixedIterations bool
+}
+
+// Result reports the solve outcome and the phase breakdown.
+type Result struct {
+	Iterations int
+	Converged  bool
+	Residual   float64 // final relative residual ‖r‖/‖b‖
+
+	SpMVTime   time.Duration // time inside A·p
+	VectorTime time.Duration // dots, axpys, copies
+	TotalTime  time.Duration
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("iters=%d converged=%v rel.res=%.3e total=%v (spmv %v, vector %v)",
+		r.Iterations, r.Converged, r.Residual, r.TotalTime.Round(time.Microsecond),
+		r.SpMVTime.Round(time.Microsecond), r.VectorTime.Round(time.Microsecond))
+}
+
+// Solve runs CG on A·x = b starting from x (updated in place), using pool
+// for the vector operations. A is any SpM×V kernel; it must represent a
+// symmetric positive definite operator for CG to converge.
+func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result {
+	n := len(b)
+	if len(x) != n {
+		panic(fmt.Sprintf("cg: len(x)=%d, len(b)=%d", len(x), n))
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 10 * n
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-10
+	}
+
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	var res Result
+	start := time.Now()
+	mark := func(d *time.Duration, t0 time.Time) { *d += time.Since(t0) }
+
+	// r₀ = b − A·x₀ ; p₀ = r₀
+	t0 := time.Now()
+	a.MulVec(x, ap)
+	mark(&res.SpMVTime, t0)
+	t0 = time.Now()
+	vec.Sub(pool, r, b, ap)
+	vec.Copy(pool, p, r)
+	normB := vec.Norm2(pool, b)
+	if normB == 0 {
+		normB = 1
+	}
+	rr := vec.Dot(pool, r, r)
+	mark(&res.VectorTime, t0)
+
+	tol2 := (opts.Tol * normB) * (opts.Tol * normB)
+	for i := 0; i < opts.MaxIter; i++ {
+		if rr <= tol2 && !opts.FixedIterations {
+			res.Converged = true
+			break
+		}
+		t0 = time.Now()
+		a.MulVec(p, ap)
+		mark(&res.SpMVTime, t0)
+
+		t0 = time.Now()
+		pap := vec.Dot(pool, p, ap)
+		if pap <= 0 && !opts.FixedIterations {
+			// Breakdown: A is not SPD along p (or roundoff); stop cleanly.
+			mark(&res.VectorTime, t0)
+			break
+		}
+		alpha := rr / pap
+		vec.Axpy(pool, alpha, p, x)   // x += α·p
+		vec.Axpy(pool, -alpha, ap, r) // r −= α·A·p
+		rrNew := vec.Dot(pool, r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		vec.Xpay(pool, beta, r, p) // p = r + β·p
+		mark(&res.VectorTime, t0)
+		res.Iterations++
+	}
+	if rr <= tol2 {
+		res.Converged = true
+	}
+	res.Residual = math.Sqrt(math.Max(rr, 0)) / normB
+	res.TotalTime = time.Since(start)
+	return res
+}

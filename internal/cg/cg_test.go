@@ -1,0 +1,174 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// spdMatrix builds a random strictly diagonally dominant symmetric matrix.
+func spdMatrix(rng *rand.Rand, n, offPerRow int) *matrix.COO {
+	m := matrix.NewCOO(n, n, n*(offPerRow+1))
+	m.Symmetric = true
+	rowAbs := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for k := 0; k < offPerRow && r > 0; k++ {
+			c := rng.Intn(r)
+			v := rng.NormFloat64()
+			m.Add(r, c, v)
+			rowAbs[r] += math.Abs(v)
+			rowAbs[c] += math.Abs(v)
+		}
+	}
+	for r := 0; r < n; r++ {
+		m.Add(r, r, rowAbs[r]+1)
+	}
+	return m.Normalize()
+}
+
+func TestSolveConvergesToKnownSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const n = 400
+	m := spdMatrix(rng, n, 4)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+
+	xstar := make([]float64, n)
+	for i := range xstar {
+		xstar[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	m.MulVec(xstar, b)
+
+	x := make([]float64, n)
+	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{Tol: 1e-12})
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res)
+	}
+	worst := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - xstar[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-8 {
+		t.Fatalf("max error %g after convergence", worst)
+	}
+}
+
+func TestSolveAllKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const n = 300
+	m := spdMatrix(rng, n, 3)
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	kernels := map[string]MulVecer{
+		"coo":     MulVecFunc(m.MulVec),
+		"csr":     MulVecFunc(csr.NewParallel(csr.FromCOO(m), pool).MulVec),
+		"sss-idx": MulVecFunc(core.NewKernel(s, core.Indexed, pool).MulVec),
+	}
+	var ref []float64
+	for name, k := range kernels {
+		x := make([]float64, n)
+		res := Solve(k, pool, b, x, Options{Tol: 1e-12})
+		if !res.Converged {
+			t.Fatalf("%s: did not converge: %v", name, res)
+		}
+		if ref == nil {
+			ref = x
+			continue
+		}
+		for i := range x {
+			if math.Abs(x[i]-ref[i]) > 1e-7 {
+				t.Fatalf("%s: solution differs at %d: %g vs %g", name, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSolveFixedIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	const n = 100
+	m := spdMatrix(rng, n, 2)
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{MaxIter: 37, FixedIterations: true})
+	if res.Iterations != 37 {
+		t.Fatalf("fixed iterations: ran %d, want 37", res.Iterations)
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	m := spdMatrix(rng, 50, 2)
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	b := make([]float64, 50)
+	x := make([]float64, 50)
+	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{})
+	if !res.Converged {
+		t.Fatalf("zero RHS should converge immediately: %v", res)
+	}
+	for i := range x {
+		if x[i] != 0 {
+			t.Fatalf("x[%d] = %g, want 0", i, x[i])
+		}
+	}
+}
+
+func TestSolveDimensionMismatchPanics(t *testing.T) {
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	Solve(MulVecFunc(func(x, y []float64) {}), pool, make([]float64, 3), make([]float64, 4), Options{})
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Iterations: 5, Converged: true, Residual: 1e-11}
+	if s := r.String(); s == "" {
+		t.Fatal("empty Result string")
+	}
+}
+
+func TestPhaseTimesAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	m := spdMatrix(rng, 500, 4)
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	b := make([]float64, 500)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 500)
+	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{Tol: 1e-10})
+	if res.SpMVTime <= 0 || res.VectorTime <= 0 {
+		t.Fatalf("phase times not recorded: %+v", res)
+	}
+	if res.SpMVTime+res.VectorTime > res.TotalTime*2 {
+		t.Fatalf("phase times exceed total: %+v", res)
+	}
+}

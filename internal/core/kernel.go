@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+// ReductionMethod selects how per-thread local output vectors are combined
+// into the final output vector after the multiplication phase.
+type ReductionMethod int
+
+const (
+	// Naive gives every thread a full-length local vector; all writes go to
+	// the local vector and a full p-vector reduction follows (Fig. 3b).
+	Naive ReductionMethod = iota
+	// EffectiveRanges (Batista et al.) writes rows inside the thread's own
+	// partition directly to the output vector; only the conflicting region
+	// [0, start_i) is buffered locally and reduced (Fig. 3c).
+	EffectiveRanges
+	// Indexed is the paper's contribution: like EffectiveRanges, but a sorted
+	// (vid, idx) index built once per matrix/partition names exactly the
+	// local-vector entries that are written, and the reduction touches only
+	// those (Fig. 3d).
+	Indexed
+	// Atomic is an ablation comparator outside the paper's three methods:
+	// no local vectors at all — conflicting writes go through lock-free
+	// compare-and-swap updates on a shared accumulator (the Buluç et al.
+	// fallback strategy; see atomic.go for why it loses).
+	Atomic
+)
+
+// String implements fmt.Stringer.
+func (m ReductionMethod) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case EffectiveRanges:
+		return "effective-ranges"
+	case Indexed:
+		return "indexed"
+	case Atomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("ReductionMethod(%d)", int(m))
+	}
+}
+
+// IndexEntry names one conflicting local-vector element: local vector Vid,
+// element index Idx. The paper stores both fields in four bytes each.
+type IndexEntry struct {
+	Vid int32
+	Idx int32
+}
+
+// Kernel is a multithreaded symmetric SpM×V engine over the SSS format: an
+// nnz-balanced row partition, per-thread local vectors sized according to
+// the reduction method, and (for Indexed) the conflict index. Create with
+// NewKernel; a Kernel is tied to the pool it was created with.
+type Kernel struct {
+	S      *SSS
+	Method ReductionMethod
+	Part   *partition.RowPartition
+	LV     *LocalVectors
+
+	pool *parallel.Pool
+	p    int
+
+	// Atomic-method state: the shared bit-pattern accumulator and the
+	// uniform row split of its final conversion pass.
+	acc           []uint64
+	redPartAtomic *partition.RowPartition
+
+	// wide holds the nv-wide local vectors of MulMat, sized lazily.
+	wide *wideLocals
+}
+
+// NewKernel builds the parallel kernel. The partition is computed over the
+// strict lower triangle row pointer, matching the paper's nnz-balanced
+// row-wise assignment. For the Indexed method the symbolic analysis runs
+// here, once, and is reused across multiplications.
+func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
+	p := pool.Size()
+	part := partition.ByNNZ(s.RowPtr, p)
+	k := &Kernel{
+		S:      s,
+		Method: method,
+		Part:   part,
+		pool:   pool,
+		p:      p,
+	}
+	if method == Atomic {
+		k.acc = make([]uint64, s.N)
+		k.redPartAtomic = partition.Uniform(s.N, p)
+		return k
+	}
+	var touched [][]int32
+	if method == Indexed {
+		touched = TouchedColumns(s, part, pool)
+	}
+	k.LV = NewLocalVectors(s.N, part, method, touched)
+	return k
+}
+
+// MulVec computes y = A·x: the parallel multiplication phase followed by the
+// reduction phase selected by Method. Local vectors are re-zeroed during the
+// reduction, so repeated calls reuse all buffers without extra clearing.
+func (k *Kernel) MulVec(x, y []float64) {
+	if len(x) != k.S.N || len(y) != k.S.N {
+		panic(fmt.Sprintf("core: MulVec dims: A is %dx%d, len(x)=%d, len(y)=%d",
+			k.S.N, k.S.N, len(x), len(y)))
+	}
+	switch k.Method {
+	case Naive:
+		k.multiplyNaive(x)
+	case EffectiveRanges, Indexed:
+		k.multiplyEffective(x, y)
+	case Atomic:
+		k.multiplyAtomic(x)
+		k.finalizeAtomic(y)
+		return
+	default:
+		panic("core: unknown reduction method " + k.Method.String())
+	}
+	k.LV.Reduce(k.pool, y)
+}
+
+// multiplyNaive runs Alg. 3's multiplication phase: every write, including
+// the thread's own rows, goes to the thread's full-length local vector.
+func (k *Kernel) multiplyNaive(x []float64) {
+	s := k.S
+	k.pool.Run(func(tid int) {
+		local := k.LV.Vecs[tid]
+		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+			xr := x[r]
+			acc := s.DValues[r] * xr
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				c := s.ColIdx[j]
+				v := s.Val[j]
+				acc += v * x[c]
+				local[c] += v * xr
+			}
+			local[r] += acc
+		}
+	})
+}
+
+// multiplyEffective runs the multiplication phase shared by the
+// effective-ranges and indexed methods: rows within the thread's own
+// partition write directly to y, and only transposed contributions that fall
+// before the partition start are buffered in the local vector.
+func (k *Kernel) multiplyEffective(x, y []float64) {
+	s := k.S
+	k.pool.Run(func(tid int) {
+		local := k.LV.Vecs[tid]
+		startT := k.Part.Start[tid]
+		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+			xr := x[r]
+			acc := s.DValues[r] * xr
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				c := s.ColIdx[j]
+				v := s.Val[j]
+				acc += v * x[c]
+				if c >= startT {
+					y[c] += v * xr
+				} else {
+					local[c] += v * xr
+				}
+			}
+			// Rows are processed in ascending order and transposed writes
+			// target strictly earlier rows (c < r), so y[r] has received no
+			// contribution yet: plain assignment, no pre-zeroing of y needed.
+			// Cross-thread contributions go through locals.
+			y[r] = acc
+		}
+	})
+}
+
+// IndexLen reports the number of conflict-index entries; zero for
+// non-Indexed kernels.
+func (k *Kernel) IndexLen() int {
+	if k.LV == nil {
+		return 0
+	}
+	return k.LV.IndexLen()
+}
+
+// EffectiveRegionSize reports the summed length of all effective regions.
+func (k *Kernel) EffectiveRegionSize() int64 {
+	if k.LV == nil {
+		return 0
+	}
+	return k.LV.EffectiveRegionSize()
+}
+
+// EffectiveDensity reports the density d of the effective regions (Fig. 4).
+func (k *Kernel) EffectiveDensity() float64 {
+	if k.LV == nil {
+		return 0
+	}
+	return k.LV.EffectiveDensity()
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// randomSymmetric builds a random symmetric lower-stored COO with ~avgRow
+// stored off-diagonal entries per row plus a full diagonal.
+func randomSymmetric(t testing.TB, rng *rand.Rand, n, avgRow int) *matrix.COO {
+	t.Helper()
+	m := matrix.NewCOO(n, n, n*(avgRow+1))
+	m.Symmetric = true
+	for r := 0; r < n; r++ {
+		m.Add(r, r, 1+rng.Float64())
+		for k := 0; k < avgRow && r > 0; k++ {
+			c := rng.Intn(r)
+			m.Add(r, c, rng.NormFloat64())
+		}
+	}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("generated matrix invalid: %v", err)
+	}
+	return m
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		scale := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if scale < 1 {
+			scale = 1
+		}
+		if d/scale > worst {
+			worst = d / scale
+		}
+	}
+	return worst
+}
+
+func TestSerialSSSMatchesCOO(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 17, 100, 733} {
+		m := randomSymmetric(t, rng, n, 4)
+		s, err := FromCOO(m)
+		if err != nil {
+			t.Fatalf("n=%d: FromCOO: %v", n, err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		m.MulVec(x, want)
+		s.MulVec(x, got)
+		if d := maxRelDiff(want, got); d > 1e-12 {
+			t.Errorf("n=%d: serial SSS differs from COO reference by %g", n, d)
+		}
+	}
+}
+
+func TestParallelKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 5, 64, 257, 1000} {
+		m := randomSymmetric(t, rng, n, 5)
+		s, err := FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		m.MulVec(x, want)
+
+		for _, p := range []int{1, 2, 3, 4, 7, 16} {
+			pool := parallel.NewPool(p)
+			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic} {
+				k := NewKernel(s, method, pool)
+				got := make([]float64, n)
+				// Run twice: the second run catches stale local-vector state
+				// (locals must be re-zeroed by the reduction).
+				k.MulVec(x, got)
+				k.MulVec(x, got)
+				if d := maxRelDiff(want, got); d > 1e-12 {
+					t.Errorf("n=%d p=%d method=%v: differs from reference by %g", n, p, method, d)
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+func TestIndexedSplitDoesNotShareIdx(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomSymmetric(t, rng, 500, 6)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(8)
+	defer pool.Close()
+	k := NewKernel(s, Indexed, pool)
+	index, split := k.LV.index, k.LV.redSplit
+	for w := 0; w+1 < len(split); w++ {
+		b := split[w+1]
+		if b > 0 && int(b) < len(index) && index[b].Idx == index[b-1].Idx {
+			t.Errorf("boundary %d splits idx %d between workers", w, index[b].Idx)
+		}
+		if split[w] > b {
+			t.Errorf("boundaries not monotone: %v", split)
+		}
+	}
+}
+
+func TestEffectiveDensityDecreasesWithThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomSymmetric(t, rng, 4000, 5)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.1
+	for _, p := range []int{2, 8, 32, 128} {
+		_, _, d := ConflictIndexDensity(s, p)
+		if d <= 0 || d > 1 {
+			t.Fatalf("p=%d: density %g out of (0,1]", p, d)
+		}
+		if d > prev+0.05 { // allow tiny noise; the trend must be downward
+			t.Errorf("p=%d: density %g did not decrease (prev %g)", p, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestTrafficWorkingSetEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomSymmetric(t, rng, 2048, 4)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	pool := parallel.NewPool(p)
+	defer pool.Close()
+
+	n := int64(s.N)
+	kn := NewKernel(s, Naive, pool)
+	if got, want := kn.Traffic().WorkingSetOverhead, int64(8*p)*n; got != want {
+		t.Errorf("naive ws: got %d, want 8pN = %d", got, want)
+	}
+	ke := NewKernel(s, EffectiveRanges, pool)
+	if got, want := ke.Traffic().WorkingSetOverhead, 8*ke.EffectiveRegionSize(); got != want {
+		t.Errorf("effective ws: got %d, want %d", got, want)
+	}
+	// Eq. (4) approximation: 4(p-1)N within the imbalance slack.
+	approx := float64(4 * (p - 1) * int(n))
+	if got := float64(ke.Traffic().WorkingSetOverhead); math.Abs(got-approx)/approx > 0.25 {
+		t.Errorf("effective ws %g too far from 4(p-1)N = %g", got, approx)
+	}
+	ki := NewKernel(s, Indexed, pool)
+	if got, want := ki.Traffic().WorkingSetOverhead, int64(16*ki.IndexLen()); got != want {
+		t.Errorf("indexed ws: got %d, want 16·E = %d", got, want)
+	}
+
+	// On a *banded* matrix the effective regions are sparse and the indexed
+	// working set must undercut the effective-ranges one. (On scattered
+	// high-bandwidth matrices density can exceed 50% and the inequality
+	// legitimately flips — that is the paper's corner case.)
+	banded := matrix.NewCOO(2048, 2048, 2048*5)
+	banded.Symmetric = true
+	for r := 0; r < 2048; r++ {
+		banded.Add(r, r, 4)
+		for d := 1; d <= 3 && r-d >= 0; d++ {
+			banded.Add(r, r-d, -1)
+		}
+	}
+	sb, err := FromCOO(banded.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kib := NewKernel(sb, Indexed, pool)
+	keb := NewKernel(sb, EffectiveRanges, pool)
+	if kib.Traffic().WorkingSetOverhead >= keb.Traffic().WorkingSetOverhead {
+		t.Errorf("banded: indexed ws (%d) not below effective ws (%d)",
+			kib.Traffic().WorkingSetOverhead, keb.Traffic().WorkingSetOverhead)
+	}
+}
+
+func TestKernelMoreThreadsThanRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomSymmetric(t, rng, 5, 2)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(16) // p > N
+	defer pool.Close()
+	x := []float64{1, -2, 3, -4, 5}
+	want := make([]float64, 5)
+	m.MulVec(x, want)
+	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic} {
+		k := NewKernel(s, method, pool)
+		got := make([]float64, 5)
+		k.MulVec(x, got)
+		if d := maxRelDiff(want, got); d > 1e-12 {
+			t.Errorf("method=%v with p>N: differs by %g", method, d)
+		}
+	}
+}

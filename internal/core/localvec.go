@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+// LocalVectors owns the per-thread local output vectors of a multithreaded
+// symmetric SpM×V and performs the reduction phase under any of the three
+// methods. It is shared by the SSS kernel (this package) and the CSX-Sym
+// kernel (internal/csx): both produce identical conflict patterns, so the
+// reduction machinery — including the paper's local-vectors index — lives
+// here once.
+//
+// Layout: Vecs[t] is thread t's local vector; full length N for Naive,
+// length Part.Start[t] (the effective range) for the other methods (thread 0
+// then has an empty local vector). The reduction re-zeroes every element it
+// consumes, so the multiply phase may assume all-zero locals on entry.
+type LocalVectors struct {
+	N      int
+	Method ReductionMethod
+	Part   *partition.RowPartition
+	Vecs   [][]float64
+
+	p       int
+	redPart *partition.RowPartition // uniform row split for naive/effective
+
+	index    []IndexEntry // Indexed only: sorted by (Idx, Vid)
+	redSplit []int32      // Indexed only: per-worker boundaries into index
+}
+
+// NewLocalVectors allocates local vectors for partition part under method.
+// For the Indexed method, touched[t] must list the distinct columns
+// c < part.Start[t] that thread t's multiply phase writes, in ascending
+// order; it is ignored otherwise (may be nil).
+func NewLocalVectors(n int, part *partition.RowPartition, method ReductionMethod, touched [][]int32) *LocalVectors {
+	p := part.P()
+	lv := &LocalVectors{
+		N:       n,
+		Method:  method,
+		Part:    part,
+		Vecs:    make([][]float64, p),
+		p:       p,
+		redPart: partition.Uniform(n, p),
+	}
+	for t := 0; t < p; t++ {
+		switch method {
+		case Naive:
+			lv.Vecs[t] = make([]float64, n)
+		default:
+			lv.Vecs[t] = make([]float64, part.Start[t])
+		}
+	}
+	if method == Indexed {
+		total := 0
+		for _, cols := range touched {
+			total += len(cols)
+		}
+		lv.index = make([]IndexEntry, 0, total)
+		for t, cols := range touched {
+			for _, c := range cols {
+				lv.index = append(lv.index, IndexEntry{Vid: int32(t), Idx: c})
+			}
+		}
+		sort.Slice(lv.index, func(a, b int) bool {
+			if lv.index[a].Idx != lv.index[b].Idx {
+				return lv.index[a].Idx < lv.index[b].Idx
+			}
+			return lv.index[a].Vid < lv.index[b].Vid
+		})
+		lv.redSplit = splitIndex(lv.index, p)
+	}
+	return lv
+}
+
+// Reduce folds the local vectors into y on pool and re-zeroes consumed
+// elements. For Naive, y is fully overwritten; for the other methods the
+// direct contributions already present in y are kept and augmented.
+func (lv *LocalVectors) Reduce(pool *parallel.Pool, y []float64) {
+	switch lv.Method {
+	case Naive:
+		lv.reduceNaive(pool, y)
+	case EffectiveRanges:
+		lv.reduceEffective(pool, y)
+	case Indexed:
+		lv.reduceIndexed(pool, y)
+	}
+}
+
+// reduceNaive sums the p full-length local vectors into y over uniform row
+// chunks (Alg. 3 lines 12–15), re-zeroing the locals in the same pass.
+func (lv *LocalVectors) reduceNaive(pool *parallel.Pool, y []float64) {
+	pool.Run(func(tid int) {
+		lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+		for r := lo; r < hi; r++ {
+			sum := 0.0
+			for t := 0; t < lv.p; t++ {
+				sum += lv.Vecs[t][r]
+				lv.Vecs[t][r] = 0
+			}
+			y[r] = sum
+		}
+	})
+}
+
+// reduceEffective folds the effective regions into y: row r receives
+// contributions from every thread whose partition starts after r (those are
+// a suffix, since partition starts are non-decreasing).
+func (lv *LocalVectors) reduceEffective(pool *parallel.Pool, y []float64) {
+	pool.Run(func(tid int) {
+		lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+		for r := lo; r < hi; r++ {
+			t0 := lv.Part.Owner(r) + 1
+			sum := y[r]
+			for t := t0; t < lv.p; t++ {
+				if int32(len(lv.Vecs[t])) > r {
+					sum += lv.Vecs[t][r]
+					lv.Vecs[t][r] = 0
+				}
+			}
+			y[r] = sum
+		}
+	})
+}
+
+// reduceIndexed walks each worker's slice of the sorted conflict index,
+// adding exactly the touched local elements into y. Boundaries never split
+// an Idx value, so each output element is written by a single worker.
+func (lv *LocalVectors) reduceIndexed(pool *parallel.Pool, y []float64) {
+	pool.Run(func(tid int) {
+		lo, hi := lv.redSplit[tid], lv.redSplit[tid+1]
+		for e := lo; e < hi; e++ {
+			ent := lv.index[e]
+			y[ent.Idx] += lv.Vecs[ent.Vid][ent.Idx]
+			lv.Vecs[ent.Vid][ent.Idx] = 0
+		}
+	})
+}
+
+// IndexLen reports the number of conflict-index entries (touched
+// local-vector elements); zero unless Method is Indexed.
+func (lv *LocalVectors) IndexLen() int { return len(lv.index) }
+
+// Index exposes the sorted conflict index (read-only; do not mutate).
+func (lv *LocalVectors) Index() []IndexEntry { return lv.index }
+
+// EffectiveRegionSize reports Σ_t Part.Start[t], the summed length of all
+// effective regions — the denominator of the Fig. 4 density.
+func (lv *LocalVectors) EffectiveRegionSize() int64 {
+	var sum int64
+	for t := 0; t < lv.p; t++ {
+		sum += int64(lv.Part.Start[t])
+	}
+	return sum
+}
+
+// EffectiveDensity reports the fraction of effective-region elements the
+// multiply phase actually writes (Fig. 4); zero when there are no effective
+// regions (p == 1) or the method is not Indexed.
+func (lv *LocalVectors) EffectiveDensity() float64 {
+	size := lv.EffectiveRegionSize()
+	if size == 0 {
+		return 0
+	}
+	return float64(len(lv.index)) / float64(size)
+}

@@ -1,0 +1,200 @@
+package core
+
+import "fmt"
+
+// Multi-vector multiplication (SpMM): Y = A·X for nv right-hand sides.
+// Vectors are interleaved — x[i*nv+v] is component v of row i — so each
+// matrix element streams once while touching nv consecutive vector values,
+// raising the flop:byte ratio by ~nv. This extends the paper's kernel to
+// the multiple-RHS setting of block Krylov methods; the local-vectors
+// index is reused unchanged (one entry covers nv lanes).
+
+// MulMat computes Y = A·X serially for nv interleaved vectors.
+func (s *SSS) MulMat(x, y []float64, nv int) {
+	checkMatDims(s.N, len(x), len(y), nv)
+	for r := 0; r < s.N; r++ {
+		d := s.DValues[r]
+		for v := 0; v < nv; v++ {
+			y[r*nv+v] = d * x[r*nv+v]
+		}
+	}
+	for r := 0; r < s.N; r++ {
+		xr := x[r*nv : r*nv+nv]
+		yr := y[r*nv : r*nv+nv]
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := int(s.ColIdx[j])
+			a := s.Val[j]
+			xc := x[c*nv : c*nv+nv]
+			yc := y[c*nv : c*nv+nv]
+			for v := 0; v < nv; v++ {
+				yr[v] += a * xc[v]
+				yc[v] += a * xr[v]
+			}
+		}
+	}
+}
+
+// MulMat computes Y = A·X on the kernel's pool for nv interleaved vectors.
+// Supported for the local-vector methods (the Atomic ablation method is
+// single-vector only).
+func (k *Kernel) MulMat(x, y []float64, nv int) {
+	checkMatDims(k.S.N, len(x), len(y), nv)
+	if k.Method == Atomic {
+		panic("core: MulMat is not supported by the Atomic method")
+	}
+	if nv == 1 {
+		k.MulVec(x, y)
+		return
+	}
+	// Lazily grow the wide local vectors: LocalVectors are allocated for
+	// nv=1; MulMat keeps its own nv-wide buffers sized on first use.
+	k.ensureWideLocals(nv)
+	switch k.Method {
+	case Naive:
+		k.mulMatNaive(x, nv)
+		k.reduceMatNaive(y, nv)
+	default: // EffectiveRanges, Indexed
+		k.mulMatEffective(x, y, nv)
+		k.reduceMatLocal(y, nv)
+	}
+}
+
+func checkMatDims(n, lx, ly, nv int) {
+	if nv < 1 {
+		panic(fmt.Sprintf("core: MulMat with %d vectors", nv))
+	}
+	if lx != n*nv || ly != n*nv {
+		panic(fmt.Sprintf("core: MulMat dims: N=%d nv=%d, len(x)=%d, len(y)=%d", n, nv, lx, ly))
+	}
+}
+
+// wideLocals holds the nv-wide local vectors, sized lazily per kernel.
+type wideLocals struct {
+	nv   int
+	vecs [][]float64
+}
+
+func (k *Kernel) ensureWideLocals(nv int) {
+	if k.wide != nil && k.wide.nv == nv {
+		return
+	}
+	w := &wideLocals{nv: nv, vecs: make([][]float64, k.p)}
+	for t := 0; t < k.p; t++ {
+		switch k.Method {
+		case Naive:
+			w.vecs[t] = make([]float64, k.S.N*nv)
+		default:
+			w.vecs[t] = make([]float64, int(k.Part.Start[t])*nv)
+		}
+	}
+	k.wide = w
+}
+
+func (k *Kernel) mulMatNaive(x []float64, nv int) {
+	s := k.S
+	k.pool.Run(func(tid int) {
+		local := k.wide.vecs[tid]
+		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+			ri := int(r) * nv
+			d := s.DValues[r]
+			for v := 0; v < nv; v++ {
+				local[ri+v] += d * x[ri+v]
+			}
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				ci := int(s.ColIdx[j]) * nv
+				a := s.Val[j]
+				for v := 0; v < nv; v++ {
+					local[ri+v] += a * x[ci+v]
+					local[ci+v] += a * x[ri+v]
+				}
+			}
+		}
+	})
+}
+
+func (k *Kernel) reduceMatNaive(y []float64, nv int) {
+	k.pool.RunChunked(k.S.N, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for v := 0; v < nv; v++ {
+				i := r*nv + v
+				sum := 0.0
+				for t := 0; t < k.p; t++ {
+					sum += k.wide.vecs[t][i]
+					k.wide.vecs[t][i] = 0
+				}
+				y[i] = sum
+			}
+		}
+	})
+}
+
+func (k *Kernel) mulMatEffective(x, y []float64, nv int) {
+	s := k.S
+	k.pool.Run(func(tid int) {
+		local := k.wide.vecs[tid]
+		startT := int(k.Part.Start[tid])
+		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+			ri := int(r) * nv
+			d := s.DValues[r]
+			// Accumulate the row locally, store once (same ordering argument
+			// as the single-vector kernel: transposed writes only target
+			// earlier rows).
+			for v := 0; v < nv; v++ {
+				y[ri+v] = d * x[ri+v]
+			}
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				c := int(s.ColIdx[j])
+				ci := c * nv
+				a := s.Val[j]
+				if c >= startT {
+					for v := 0; v < nv; v++ {
+						y[ri+v] += a * x[ci+v]
+						y[ci+v] += a * x[ri+v]
+					}
+				} else {
+					for v := 0; v < nv; v++ {
+						y[ri+v] += a * x[ci+v]
+						local[ci+v] += a * x[ri+v]
+					}
+				}
+			}
+		}
+	})
+}
+
+// reduceMatLocal folds the wide locals into y: the Indexed method walks its
+// conflict index (one entry covers nv lanes), EffectiveRanges walks the
+// effective regions.
+func (k *Kernel) reduceMatLocal(y []float64, nv int) {
+	if k.Method == Indexed {
+		k.pool.Run(func(tid int) {
+			index, split := k.LV.Index(), k.LV.redSplit
+			lo, hi := split[tid], split[tid+1]
+			for e := lo; e < hi; e++ {
+				ent := index[e]
+				local := k.wide.vecs[ent.Vid]
+				base := int(ent.Idx) * nv
+				for v := 0; v < nv; v++ {
+					y[base+v] += local[base+v]
+					local[base+v] = 0
+				}
+			}
+		})
+		return
+	}
+	k.pool.RunChunked(k.S.N, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			t0 := k.Part.Owner(int32(r)) + 1
+			for t := t0; t < k.p; t++ {
+				local := k.wide.vecs[t]
+				if len(local) <= r*nv {
+					continue
+				}
+				for v := 0; v < nv; v++ {
+					y[r*nv+v] += local[r*nv+v]
+					local[r*nv+v] = 0
+				}
+			}
+		}
+	})
+}

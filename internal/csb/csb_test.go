@@ -1,0 +1,174 @@
+package csb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func randomSymmetric(t testing.TB, rng *rand.Rand, n, avgRow int) *core.SSS {
+	t.Helper()
+	m := matrix.NewCOO(n, n, n*(avgRow+1))
+	m.Symmetric = true
+	for r := 0; r < n; r++ {
+		m.Add(r, r, 1+rng.Float64())
+		for k := 0; k < avgRow && r > 0; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	m.Normalize()
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func refMul(s *core.SSS, x []float64) []float64 {
+	y := make([]float64, s.N)
+	s.MulVec(x, y)
+	return y
+}
+
+func TestCSBSymMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for _, n := range []int{1, 30, 257, 1200} {
+		s := randomSymmetric(t, rng, n, 4)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := refMul(s, x)
+		for _, beta := range []int{16, 64, 1024} {
+			sm, err := NewSym(s, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{1, 3, 8} {
+				pool := parallel.NewPool(p)
+				k := NewKernel(sm, pool)
+				got := make([]float64, n)
+				k.MulVec(x, got)
+				k.MulVec(x, got) // state re-zeroing across calls
+				pool.Close()
+				for i := range want {
+					d := math.Abs(want[i] - got[i])
+					if d > 1e-9*(1+math.Abs(want[i])) {
+						t.Fatalf("n=%d beta=%d p=%d: row %d differs by %g", n, beta, p, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCSBOffsetAccounting(t *testing.T) {
+	// Narrow banded matrix with small beta: everything within offsets 0-1.
+	m := matrix.NewCOO(256, 256, 256*3)
+	m.Symmetric = true
+	for r := 0; r < 256; r++ {
+		m.Add(r, r, 3)
+		if r > 0 {
+			m.Add(r, r-1, -1)
+		}
+	}
+	s, err := core.FromCOO(m.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSym(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.FarElems != 0 {
+		t.Fatalf("banded matrix produced %d far elements", sm.FarElems)
+	}
+	if sm.OffsetElems[0]+sm.OffsetElems[1] != int64(sm.NNZLower()) {
+		t.Fatalf("offset accounting: %v over %d elements", sm.OffsetElems, sm.NNZLower())
+	}
+
+	// A long-range coupling lands in the atomic path.
+	m2 := m.Clone()
+	m2.Add(255, 0, 1)
+	s2, err := core.FromCOO(m2.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2, err := NewSym(s2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm2.FarElems != 1 {
+		t.Fatalf("far element not counted: %d", sm2.FarElems)
+	}
+}
+
+func TestCSBRejectsBadBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	s := randomSymmetric(t, rng, 50, 2)
+	if _, err := NewSym(s, 4); err == nil {
+		t.Fatal("accepted beta below minimum")
+	}
+	if _, err := NewSym(s, 1<<17); err == nil {
+		t.Fatal("accepted beta beyond uint16")
+	}
+	if sm, err := NewSym(s, 0); err != nil || sm.Beta != 1024 {
+		t.Fatalf("default beta: %v, %v", sm, err)
+	}
+}
+
+func TestCSBBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	s := randomSymmetric(t, rng, 500, 4)
+	sm, err := NewSym(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Bytes() <= int64(12*sm.NNZLower()) {
+		t.Fatalf("Bytes = %d too small", sm.Bytes())
+	}
+	// CSB's 12 bytes/element beats SSS's 12 + rowptr on index volume only
+	// via the short coordinates; just sanity-bound it against SSS.
+	if sm.Bytes() > s.Bytes()+int64(8*len(sm.BlockCol)+1024) {
+		t.Fatalf("CSB bytes %d far above SSS %d", sm.Bytes(), s.Bytes())
+	}
+}
+
+// Property: CSB-Sym matches the reference for random sizes, betas, thread
+// counts — including under the race detector.
+func TestQuickCSBMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		s := randomSymmetric(t, rng, n, rng.Intn(5))
+		beta := []int{16, 32, 128, 2048}[rng.Intn(4)]
+		sm, err := NewSym(s, beta)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := refMul(s, x)
+		pool := parallel.NewPool(1 + rng.Intn(6))
+		defer pool.Close()
+		k := NewKernel(sm, pool)
+		got := make([]float64, n)
+		k.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package csr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func randomGeneral(rng *rand.Rand, rows, cols, nnz int) *matrix.COO {
+	m := matrix.NewCOO(rows, cols, nnz)
+	for k := 0; k < nnz; k++ {
+		m.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	return m.Normalize()
+}
+
+func TestFromCOOLayout(t *testing.T) {
+	m := matrix.NewCOO(3, 3, 4)
+	m.Add(0, 1, 1)
+	m.Add(2, 0, 2)
+	m.Add(2, 2, 3)
+	m.Add(1, 1, 4)
+	a := FromCOO(m)
+	if a.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", a.NNZ())
+	}
+	wantPtr := []int32{0, 1, 2, 4}
+	for i, w := range wantPtr {
+		if a.RowPtr[i] != w {
+			t.Fatalf("RowPtr = %v, want %v", a.RowPtr, wantPtr)
+		}
+	}
+	if a.RowNNZ(2) != 2 {
+		t.Fatalf("RowNNZ(2) = %d, want 2", a.RowNNZ(2))
+	}
+}
+
+func TestFromCOOExpandsSymmetric(t *testing.T) {
+	m := matrix.NewCOO(3, 3, 3)
+	m.Symmetric = true
+	m.Add(0, 0, 1)
+	m.Add(2, 0, 5)
+	m.Normalize()
+	a := FromCOO(m)
+	if a.NNZ() != 3 { // (0,0), (2,0), (0,2)
+		t.Fatalf("expanded NNZ = %d, want 3", a.NNZ())
+	}
+	x := []float64{1, 0, 0}
+	y := make([]float64, 3)
+	a.MulVec(x, y)
+	if y[0] != 1 || y[2] != 5 {
+		t.Fatalf("y = %v", y)
+	}
+	// Upper mirror present: A·e3 must hit row 0.
+	x = []float64{0, 0, 1}
+	a.MulVec(x, y)
+	if y[0] != 5 {
+		t.Fatalf("mirror entry missing: y = %v", y)
+	}
+}
+
+func TestMulVecMatchesCOO(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, shape := range [][2]int{{1, 1}, {10, 7}, {100, 100}, {211, 83}} {
+		m := randomGeneral(rng, shape[0], shape[1], shape[0]*3)
+		a := FromCOO(m)
+		x := make([]float64, shape[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, shape[0])
+		got := make([]float64, shape[0])
+		m.MulVec(x, want)
+		a.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				t.Fatalf("%v: row %d: %g vs %g", shape, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	m := randomGeneral(rng, 500, 500, 3000)
+	a := FromCOO(m)
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 500)
+	a.MulVec(x, want)
+	for _, p := range []int{1, 2, 5, 16} {
+		pool := parallel.NewPool(p)
+		pk := NewParallel(a, pool)
+		got := make([]float64, 500)
+		pk.MulVec(x, got)
+		pool.Close()
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("p=%d row %d: %g vs %g (must be bitwise identical)", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBytesEquation(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m := randomGeneral(rng, 200, 200, 1000)
+	a := FromCOO(m)
+	want := int64(12*a.NNZ() + 4*(a.Rows+1))
+	if got := a.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want Eq.(1) %d", got, want)
+	}
+}
+
+// Property: CSR multiply agrees with the COO reference on random matrices.
+func TestQuickCSRMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(60)
+		cols := 1 + rng.Intn(60)
+		m := randomGeneral(rng, rows, cols, rng.Intn(200))
+		a := FromCOO(m)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		got := make([]float64, rows)
+		m.MulVec(x, want)
+		a.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecPanicsOnBadDims(t *testing.T) {
+	a := FromCOO(matrix.NewCOO(3, 3, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.MulVec(make([]float64, 2), make([]float64, 3))
+}

@@ -1,0 +1,324 @@
+package csx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func maxRelDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		scale := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if scale < 1 {
+			scale = 1
+		}
+		if d/scale > worst {
+			worst = d / scale
+		}
+	}
+	return worst
+}
+
+// testMatrices builds a set of structurally diverse symmetric matrices that
+// exercise every pattern type: banded (horizontal+diagonal runs), blocked
+// (dense 3x3 blocks), scattered (delta units), and tiny edge cases.
+func testMatrices(t testing.TB) map[string]*matrix.COO {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	ms := map[string]*matrix.COO{}
+
+	banded := matrix.NewCOO(300, 300, 300*8)
+	banded.Symmetric = true
+	for r := 0; r < 300; r++ {
+		banded.Add(r, r, 8)
+		for d := 1; d <= 5 && r-d >= 0; d++ {
+			banded.Add(r, r-d, -1+0.1*float64(d))
+		}
+	}
+	ms["banded"] = banded.Normalize()
+
+	blocked := matrix.NewCOO(240, 240, 240*20)
+	blocked.Symmetric = true
+	for b := 0; b < 80; b++ {
+		r0 := 3 * b
+		for _, nb := range []int{b - 1, b - 3} {
+			if nb < 0 {
+				continue
+			}
+			c0 := 3 * nb
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					blocked.Add(r0+i, c0+j, rng.NormFloat64())
+				}
+			}
+		}
+		for i := 0; i < 3; i++ {
+			blocked.Add(r0+i, r0+i, 20)
+			for j := 0; j < i; j++ {
+				blocked.Add(r0+i, r0+j, rng.NormFloat64())
+			}
+		}
+	}
+	ms["blocked"] = blocked.Normalize()
+
+	scattered := matrix.NewCOO(400, 400, 400*5)
+	scattered.Symmetric = true
+	for r := 0; r < 400; r++ {
+		scattered.Add(r, r, 5)
+		for k := 0; k < 4 && r > 0; k++ {
+			scattered.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	ms["scattered"] = scattered.Normalize()
+
+	vertical := matrix.NewCOO(200, 200, 200*4)
+	vertical.Symmetric = true
+	for r := 0; r < 200; r++ {
+		vertical.Add(r, r, 4)
+		if r >= 50 && r < 150 {
+			vertical.Add(r, 10, 1.5) // a long vertical run at column 10
+			vertical.Add(r, r-40, -0.5)
+		}
+	}
+	ms["vertical"] = vertical.Normalize()
+
+	tiny := matrix.NewCOO(3, 3, 4)
+	tiny.Symmetric = true
+	tiny.Add(0, 0, 1)
+	tiny.Add(1, 1, 2)
+	tiny.Add(2, 2, 3)
+	tiny.Add(2, 0, -1)
+	ms["tiny"] = tiny.Normalize()
+
+	diagOnly := matrix.NewCOO(64, 64, 64)
+	diagOnly.Symmetric = true
+	for r := 0; r < 64; r++ {
+		diagOnly.Add(r, r, float64(r+1))
+	}
+	ms["diag-only"] = diagOnly.Normalize()
+
+	return ms
+}
+
+func TestCSXMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, m := range testMatrices(t) {
+		x := make([]float64, m.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m.Rows)
+		m.MulVec(x, want)
+		for _, p := range []int{1, 2, 5, 8} {
+			mx := NewMatrix(m, p, DefaultOptions())
+			if got := int(0); mx.NNZ() == got && m.LogicalNNZ() != got {
+				t.Fatalf("%s p=%d: empty CSX matrix", name, p)
+			}
+			pool := parallel.NewPool(p)
+			y := make([]float64, m.Rows)
+			mx.MulVec(pool, x, y)
+			if d := maxRelDiff(want, y); d > 1e-12 {
+				t.Errorf("%s p=%d: CSX differs from reference by %g", name, p, d)
+			}
+			pool.Close()
+		}
+	}
+}
+
+func TestCSXSymMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for name, m := range testMatrices(t) {
+		s, err := core.FromCOO(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := make([]float64, m.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m.Rows)
+		m.MulVec(x, want)
+		for _, p := range []int{1, 2, 3, 8} {
+			for _, method := range []core.ReductionMethod{core.Naive, core.EffectiveRanges, core.Indexed} {
+				sm := NewSym(s, p, method, DefaultOptions())
+				pool := parallel.NewPool(p)
+				y := make([]float64, m.Rows)
+				sm.MulVec(pool, x, y) // twice: catch stale local state
+				sm.MulVec(pool, x, y)
+				if d := maxRelDiff(want, y); d > 1e-12 {
+					t.Errorf("%s p=%d %v: CSX-Sym differs from reference by %g", name, p, method, d)
+				}
+				pool.Close()
+			}
+		}
+	}
+}
+
+func TestCSXDetectsPatterns(t *testing.T) {
+	ms := testMatrices(t)
+
+	mx := NewMatrix(ms["banded"], 1, DefaultOptions())
+	b := mx.Blobs[0]
+	if b.UnitCount[Horizontal]+b.UnitCount[Diagonal]+b.UnitCount[Block2]+b.UnitCount[Block3] == 0 {
+		t.Errorf("banded: no horizontal/diagonal/block units detected: %+v", b.UnitCount)
+	}
+
+	mxB := NewMatrix(ms["blocked"], 1, DefaultOptions())
+	bb := mxB.Blobs[0]
+	if bb.UnitCount[Block2]+bb.UnitCount[Block3]+bb.UnitCount[Horizontal] == 0 {
+		t.Errorf("blocked: no block/horizontal units detected: %+v", bb.UnitCount)
+	}
+	if frac := float64(bb.DeltaElems) / float64(bb.NNZ); frac > 0.5 {
+		t.Errorf("blocked: %.0f%% of elements fell to delta units, structure not exploited", 100*frac)
+	}
+
+	mxV := NewMatrix(ms["vertical"], 1, DefaultOptions())
+	bv := mxV.Blobs[0]
+	if bv.UnitCount[Vertical] == 0 {
+		t.Errorf("vertical: no vertical units detected: %+v", bv.UnitCount)
+	}
+}
+
+func TestCSXCompressionBeatsCSROnStructured(t *testing.T) {
+	ms := testMatrices(t)
+	for _, name := range []string{"banded", "blocked"} {
+		mx := NewMatrix(ms[name], 1, DefaultOptions())
+		if cr := mx.CompressionRatio(); cr <= 0 {
+			t.Errorf("%s: CSX compression ratio %.1f%% not positive", name, 100*cr)
+		}
+	}
+	// Symmetric variant must compress far better (roughly halves the data).
+	for _, name := range []string{"banded", "blocked", "scattered"} {
+		s, err := core.FromCOO(ms[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm := NewSym(s, 2, core.Indexed, DefaultOptions())
+		cr := sm.CompressionRatio()
+		maxCR := MaxSymCompressionRatio(sm.NNZLower(), sm.N)
+		if cr < 0.30 {
+			t.Errorf("%s: CSX-Sym compression ratio %.1f%% below 30%%", name, 100*cr)
+		}
+		if cr > maxCR {
+			t.Errorf("%s: CSX-Sym compression ratio %.1f%% exceeds the no-index bound %.1f%%",
+				name, 100*cr, 100*maxCR)
+		}
+	}
+}
+
+func TestCSXSymLegalityRule(t *testing.T) {
+	// A long horizontal run crossing a partition boundary must not be
+	// encoded as one substructure in CSX-Sym. Verify via unit histogram:
+	// encode a matrix whose only structure is runs straddling boundaries,
+	// and check correctness plus the presence of delta fallbacks.
+	m := matrix.NewCOO(100, 100, 100*12)
+	m.Symmetric = true
+	for r := 0; r < 100; r++ {
+		m.Add(r, r, 12)
+	}
+	// Row 60 has a run of 10 starting at column 45: if a partition boundary
+	// falls in (45, 55), the run must degrade.
+	for c := 45; c < 55; c++ {
+		m.Add(60, c, 1)
+	}
+	m.Normalize()
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 100)
+	m.MulVec(x, want)
+	for p := 1; p <= 16; p++ {
+		sm := NewSym(s, p, core.Indexed, DefaultOptions())
+		pool := parallel.NewPool(p)
+		y := make([]float64, 100)
+		sm.MulVec(pool, x, y)
+		pool.Close()
+		if d := maxRelDiff(want, y); d > 1e-12 {
+			t.Errorf("p=%d: straddling-run matrix differs by %g", p, d)
+		}
+		// Every encoded unit must sit entirely on one side of its thread's
+		// boundary; verified indirectly by correctness above, and directly:
+		for tid, b := range sm.Blobs {
+			checkBlobLegality(t, b, sm.Part.Start[tid])
+		}
+	}
+}
+
+// checkBlobLegality decodes the ctl stream and asserts the unit-level
+// local/direct invariant.
+func checkBlobLegality(t *testing.T, b *Blob, boundary int32) {
+	t.Helper()
+	ctl := b.Ctl
+	row := b.StartRow - 1
+	col := int32(0)
+	i := 0
+	for i < len(ctl) {
+		flags := ctl[i]
+		size := int(ctl[i+1])
+		i += 2
+		if flags&flagNR != 0 {
+			if flags&flagRJMP != 0 {
+				jump, n := uvarint(ctl[i:])
+				i += n
+				row += int32(jump) + 1
+			} else {
+				row++
+			}
+			col = 0
+		}
+		d, n := uvarint(ctl[i:])
+		i += n
+		col += int32(d)
+		pat := Pattern(flags & patternMask)
+		minC, maxC := col, col
+		switch pat {
+		case Delta8, Delta16, Delta32:
+			width := map[Pattern]int{Delta8: 1, Delta16: 2, Delta32: 4}[pat]
+			c := col
+			for k := 0; k < size-1; k++ {
+				var dd uint32
+				switch width {
+				case 1:
+					dd = uint32(ctl[i])
+				case 2:
+					dd = uint32(ctl[i]) | uint32(ctl[i+1])<<8
+				default:
+					dd = uint32(ctl[i]) | uint32(ctl[i+1])<<8 | uint32(ctl[i+2])<<16 | uint32(ctl[i+3])<<24
+				}
+				i += width
+				c += int32(dd)
+			}
+			maxC = c
+			col = c
+		case Horizontal:
+			maxC = col + int32(size) - 1
+			col = maxC
+		case AntiDiagonal:
+			minC = col - int32(size) + 1
+		case Diagonal:
+			maxC = col + int32(size) - 1
+		case Block2:
+			maxC = col + int32(size/2) - 1
+			col = maxC
+		case Block3:
+			maxC = col + int32(size/3) - 1
+			col = maxC
+		}
+		if minC < boundary && maxC >= boundary {
+			t.Errorf("unit at row %d cols [%d,%d] straddles boundary %d (pattern %v)",
+				row, minC, maxC, boundary, pat)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package csx
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// DecodeToCOO reconstructs the exact (row, col, value) triplets a blob
+// encodes, in ctl order. It is the structural inverse of encodeRange, used
+// by round-trip tests, the mtx-info dumper and format debugging: MulVec
+// equality can hide coordinate errors that cancel, coordinate equality
+// cannot.
+func DecodeToCOO(b *Blob, rows, cols int, symmetric bool) (*matrix.COO, error) {
+	out := matrix.NewCOO(rows, cols, b.NNZ)
+	out.Symmetric = symmetric
+	ctl := b.Ctl
+	vals := b.Vals
+	row := b.StartRow - 1
+	col := int32(0)
+	pos := 0
+	i := 0
+	emit := func(r, c int32) error {
+		if pos >= len(vals) {
+			return fmt.Errorf("csx: values exhausted at unit element (%d,%d)", r, c)
+		}
+		out.Add(int(r), int(c), vals[pos])
+		pos++
+		return nil
+	}
+	for i < len(ctl) {
+		if i+2 > len(ctl) {
+			return nil, fmt.Errorf("csx: truncated unit head at byte %d", i)
+		}
+		flags := ctl[i]
+		size := int(ctl[i+1])
+		i += 2
+		if size == 0 {
+			return nil, fmt.Errorf("csx: zero-size unit at byte %d", i-2)
+		}
+		if flags&flagNR != 0 {
+			if flags&flagRJMP != 0 {
+				jump, n := uvarint(ctl[i:])
+				i += n
+				row += int32(jump) + 1
+			} else {
+				row++
+			}
+			col = 0
+		}
+		d, n := uvarint(ctl[i:])
+		i += n
+		col += int32(d)
+
+		pat := Pattern(flags & patternMask)
+		switch pat {
+		case Delta8, Delta16, Delta32:
+			width := map[Pattern]int{Delta8: 1, Delta16: 2, Delta32: 4}[pat]
+			if err := emit(row, col); err != nil {
+				return nil, err
+			}
+			for k := 1; k < size; k++ {
+				if i+width > len(ctl) {
+					return nil, fmt.Errorf("csx: truncated delta body at byte %d", i)
+				}
+				var dd uint32
+				switch width {
+				case 1:
+					dd = uint32(ctl[i])
+				case 2:
+					dd = uint32(ctl[i]) | uint32(ctl[i+1])<<8
+				default:
+					dd = uint32(ctl[i]) | uint32(ctl[i+1])<<8 | uint32(ctl[i+2])<<16 | uint32(ctl[i+3])<<24
+				}
+				i += width
+				col += int32(dd)
+				if err := emit(row, col); err != nil {
+					return nil, err
+				}
+			}
+		case Horizontal:
+			for k := 0; k < size; k++ {
+				if err := emit(row, col+int32(k)); err != nil {
+					return nil, err
+				}
+			}
+			col += int32(size) - 1
+		case Vertical:
+			for k := 0; k < size; k++ {
+				if err := emit(row+int32(k), col); err != nil {
+					return nil, err
+				}
+			}
+		case Diagonal:
+			for k := 0; k < size; k++ {
+				if err := emit(row+int32(k), col+int32(k)); err != nil {
+					return nil, err
+				}
+			}
+		case AntiDiagonal:
+			for k := 0; k < size; k++ {
+				if err := emit(row+int32(k), col-int32(k)); err != nil {
+					return nil, err
+				}
+			}
+		case Block2, Block3:
+			depth := int32(2)
+			if pat == Block3 {
+				depth = 3
+			}
+			if size%int(depth) != 0 {
+				return nil, fmt.Errorf("csx: block unit size %d not divisible by %d", size, depth)
+			}
+			w := int32(size) / depth
+			for rr := int32(0); rr < depth; rr++ {
+				for k := int32(0); k < w; k++ {
+					if err := emit(row+rr, col+k); err != nil {
+						return nil, err
+					}
+				}
+			}
+			col += w - 1
+		default:
+			return nil, fmt.Errorf("csx: unknown pattern %d at byte %d", pat, i)
+		}
+	}
+	if pos != len(vals) {
+		return nil, fmt.Errorf("csx: %d values not consumed by ctl stream", len(vals)-pos)
+	}
+	return out.Normalize(), nil
+}
+
+// DecodeMatrix reconstructs the full triplet set of an unsymmetric CSX
+// matrix from all its blobs.
+func DecodeMatrix(mx *Matrix) (*matrix.COO, error) {
+	out := matrix.NewCOO(mx.Rows, mx.Cols, mx.NNZ())
+	for _, b := range mx.Blobs {
+		part, err := DecodeToCOO(b, mx.Rows, mx.Cols, false)
+		if err != nil {
+			return nil, err
+		}
+		for k := range part.Val {
+			out.Add(int(part.RowIdx[k]), int(part.ColIdx[k]), part.Val[k])
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// DecodeSymMatrix reconstructs the symmetric lower-triangular triplet set of
+// a CSX-Sym matrix (strict lower triangle from the blobs, diagonal from
+// DValues; zero diagonal slots are skipped).
+func DecodeSymMatrix(sm *SymMatrix) (*matrix.COO, error) {
+	out := matrix.NewCOO(sm.N, sm.N, sm.NNZLower()+sm.N)
+	out.Symmetric = true
+	for _, b := range sm.Blobs {
+		part, err := DecodeToCOO(b, sm.N, sm.N, true)
+		if err != nil {
+			return nil, err
+		}
+		for k := range part.Val {
+			out.Add(int(part.RowIdx[k]), int(part.ColIdx[k]), part.Val[k])
+		}
+	}
+	for r, v := range sm.DValues {
+		if v != 0 {
+			out.Add(r, r, v)
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// UnitDump renders a human-readable listing of the first maxUnits units of a
+// blob (debugging/teaching aid used by mtx-info -dump).
+func UnitDump(b *Blob, maxUnits int) string {
+	return dumpUnits(b, maxUnits)
+}

@@ -1,0 +1,121 @@
+package csx
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for name, m := range testMatrices(t) {
+		s, err := core.FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, method := range []core.ReductionMethod{core.Indexed, core.EffectiveRanges} {
+			sm := NewSym(s, 3, method, DefaultOptions())
+			var buf bytes.Buffer
+			nBytes, err := sm.WriteTo(&buf)
+			if err != nil {
+				t.Fatalf("%s: WriteTo: %v", name, err)
+			}
+			if nBytes != int64(buf.Len()) {
+				t.Errorf("%s: WriteTo reported %d bytes, wrote %d", name, nBytes, buf.Len())
+			}
+			back, err := ReadSymMatrix(&buf)
+			if err != nil {
+				t.Fatalf("%s: ReadSymMatrix: %v", name, err)
+			}
+			if back.N != sm.N || back.NNZLower() != sm.NNZLower() || back.Method != sm.Method {
+				t.Fatalf("%s: metadata changed: %d/%d/%v", name, back.N, back.NNZLower(), back.Method)
+			}
+			if back.LV.IndexLen() != sm.LV.IndexLen() {
+				t.Fatalf("%s: rebuilt index has %d entries, want %d",
+					name, back.LV.IndexLen(), sm.LV.IndexLen())
+			}
+			// The reloaded kernel must multiply identically.
+			x := make([]float64, sm.N)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			y1 := make([]float64, sm.N)
+			y2 := make([]float64, sm.N)
+			pool := parallel.NewPool(3)
+			sm.MulVec(pool, x, y1)
+			back.MulVec(pool, x, y2)
+			pool.Close()
+			for i := range y1 {
+				if y1[i] != y2[i] {
+					t.Fatalf("%s: reloaded kernel differs at row %d (must be bitwise equal)", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeFileRoundTrip(t *testing.T) {
+	ms := testMatrices(t)
+	s, err := core.FromCOO(ms["blocked"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSym(s, 2, core.Indexed, DefaultOptions())
+	path := filepath.Join(t.TempDir(), "m.csxs")
+	if err := sm.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSymMatrixFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bytes() != sm.Bytes() {
+		t.Fatalf("encoded size changed: %d vs %d", back.Bytes(), sm.Bytes())
+	}
+}
+
+func TestSerializeDetectsCorruption(t *testing.T) {
+	ms := testMatrices(t)
+	s, err := core.FromCOO(ms["banded"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSym(s, 2, core.Indexed, DefaultOptions())
+	var buf bytes.Buffer
+	if _, err := sm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte: the checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := ReadSymMatrix(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted corrupted stream")
+	}
+	// Truncation must fail cleanly.
+	if _, err := ReadSymMatrix(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+	// Wrong magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := ReadSymMatrix(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Wrong version.
+	badv := append([]byte(nil), data...)
+	badv[4] = 99
+	if _, err := ReadSymMatrix(bytes.NewReader(badv)); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+}
+
+func TestReadSymMatrixFileMissing(t *testing.T) {
+	if _, err := ReadSymMatrixFile("/no/such/file.csxs"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

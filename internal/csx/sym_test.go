@@ -1,0 +1,188 @@
+package csx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func TestSymMatrixMetadata(t *testing.T) {
+	ms := testMatrices(t)
+	m := ms["blocked"]
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSym(s, 4, core.Indexed, DefaultOptions())
+	if sm.NNZLower() != len(s.Val) {
+		t.Fatalf("NNZLower = %d, want %d", sm.NNZLower(), len(s.Val))
+	}
+	if sm.LogicalNNZ() != 2*len(s.Val)+s.N {
+		t.Fatalf("LogicalNNZ = %d", sm.LogicalNNZ())
+	}
+	if sm.Bytes() <= int64(8*sm.N) {
+		t.Fatalf("Bytes = %d suspiciously small", sm.Bytes())
+	}
+	if sm.Bytes() >= s.Bytes() {
+		t.Fatalf("CSX-Sym (%d B) did not compress below SSS (%d B) on a blocked matrix",
+			sm.Bytes(), s.Bytes())
+	}
+}
+
+func TestSymPoolSizeMismatchPanics(t *testing.T) {
+	ms := testMatrices(t)
+	s, err := core.FromCOO(ms["banded"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSym(s, 4, core.Indexed, DefaultOptions())
+	pool := parallel.NewPool(2) // != 4 blobs
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on pool/blob mismatch")
+		}
+	}()
+	x := make([]float64, sm.N)
+	y := make([]float64, sm.N)
+	sm.MulVec(pool, x, y)
+}
+
+func TestMatrixPoolSizeMismatchPanics(t *testing.T) {
+	ms := testMatrices(t)
+	mx := NewMatrix(ms["banded"], 3, DefaultOptions())
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on pool/blob mismatch")
+		}
+	}()
+	x := make([]float64, mx.Cols)
+	y := make([]float64, mx.Rows)
+	mx.MulVec(pool, x, y)
+}
+
+func TestMulVecSerialRequiresSingleBlob(t *testing.T) {
+	ms := testMatrices(t)
+	mx := NewMatrix(ms["banded"], 2, DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MulVecSerial on 2-blob matrix")
+		}
+	}()
+	mx.MulVecSerial(make([]float64, mx.Cols), make([]float64, mx.Rows))
+}
+
+func TestCSXOnRectangularMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := matrix.NewCOO(120, 300, 800)
+	for k := 0; k < 800; k++ {
+		m.Add(rng.Intn(120), rng.Intn(300), rng.NormFloat64())
+	}
+	m.Normalize()
+	mx := NewMatrix(m, 3, DefaultOptions())
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 120)
+	got := make([]float64, 120)
+	m.MulVec(x, want)
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	mx.MulVec(pool, x, got)
+	for i := range want {
+		if d := want[i] - got[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("row %d differs by %g", i, d)
+		}
+	}
+	back, err := DecodeMatrix(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTriplets(t, "rectangular", back, m)
+}
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MinRunLength != 3 || o.MinCoverage != 0.05 || o.SampleFraction != 0.25 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if len(o.Directions) != 4 {
+		t.Fatalf("default directions = %v", o.Directions)
+	}
+	o2 := Options{MinRunLength: 5, SampleFraction: 2.5}.withDefaults()
+	if o2.MinRunLength != 5 {
+		t.Fatalf("explicit MinRunLength overridden: %d", o2.MinRunLength)
+	}
+	if o2.SampleFraction != 0.25 {
+		t.Fatalf("out-of-range SampleFraction kept: %g", o2.SampleFraction)
+	}
+}
+
+func TestMaxSymCompressionRatioFormula(t *testing.T) {
+	// NNZ >> N limit: CSR 12 bytes/elem vs 4 bytes/elem -> 2/3.
+	cr := MaxSymCompressionRatio(50_000_000, 1000)
+	if cr < 0.66 || cr > 0.67 {
+		t.Fatalf("limit C.R. = %g, want ~0.6667", cr)
+	}
+	// Diagonal-only matrix: lower = 0.
+	cr0 := MaxSymCompressionRatio(0, 1000)
+	if cr0 <= 0 || cr0 >= 1 {
+		t.Fatalf("diag-only C.R. = %g", cr0)
+	}
+}
+
+func TestPatternAndDirectionStrings(t *testing.T) {
+	for p := Pattern(0); p < numPatterns; p++ {
+		if p.String() == "" {
+			t.Fatalf("empty string for pattern %d", p)
+		}
+	}
+	if Pattern(63).String() == "" {
+		t.Fatal("unknown pattern must still render")
+	}
+	for d := Direction(0); d < numDirections; d++ {
+		if d.String() == "" || d.pattern() > numPatterns {
+			t.Fatalf("direction %d bad", d)
+		}
+	}
+}
+
+func TestSymNaiveAndEffectiveMethods(t *testing.T) {
+	// CSX-Sym is normally paired with Indexed; the other methods must stay
+	// correct across repeated calls (state re-zeroing).
+	ms := testMatrices(t)
+	rng := rand.New(rand.NewSource(15))
+	for _, name := range []string{"banded", "scattered"} {
+		m := ms[name]
+		s, err := core.FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, s.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, s.N)
+		m.MulVec(x, want)
+		for _, method := range []core.ReductionMethod{core.Naive, core.EffectiveRanges} {
+			sm := NewSym(s, 5, method, DefaultOptions())
+			pool := parallel.NewPool(5)
+			y := make([]float64, s.N)
+			for rep := 0; rep < 3; rep++ {
+				sm.MulVec(pool, x, y)
+			}
+			pool.Close()
+			for i := range want {
+				if d := want[i] - y[i]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("%s/%v: row %d differs by %g", name, method, i, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestSpecByName(t *testing.T) {
+	sp, err := SpecByName("ldoor")
+	if err != nil || sp.Name != "ldoor" {
+		t.Fatalf("SpecByName(ldoor): %v, %v", sp, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("SpecByName accepted unknown matrix")
+	}
+}
+
+func TestSuiteHasTwelveMatrices(t *testing.T) {
+	if len(PaperSuite) != 12 {
+		t.Fatalf("PaperSuite has %d entries, want 12", len(PaperSuite))
+	}
+	seen := map[string]bool{}
+	for _, sp := range PaperSuite {
+		if seen[sp.Name] {
+			t.Errorf("duplicate suite name %s", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	sp, _ := SpecByName("consph")
+	a, err := Generate(sp, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sp, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() || a.Rows != b.Rows {
+		t.Fatalf("shapes differ: %d/%d vs %d/%d", a.Rows, a.NNZ(), b.Rows, b.NNZ())
+	}
+	for k := range a.Val {
+		if a.RowIdx[k] != b.RowIdx[k] || a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			t.Fatalf("entry %d differs between two generations", k)
+		}
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	sp := PaperSuite[0]
+	if _, err := Generate(sp, 0); err == nil {
+		t.Fatal("accepted scale 0")
+	}
+	if _, err := Generate(sp, 2.0); err == nil {
+		t.Fatal("accepted scale 2.0")
+	}
+}
+
+func TestGeneratedMatricesAreValidAndSPD(t *testing.T) {
+	for _, sp := range PaperSuite {
+		m, err := Generate(sp, 0.005)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if !m.Symmetric {
+			t.Fatalf("%s: not symmetric", sp.Name)
+		}
+		assertDiagonallyDominant(t, sp.Name, m)
+	}
+}
+
+// assertDiagonallyDominant verifies strict diagonal dominance with positive
+// diagonal — a sufficient condition for SPD.
+func assertDiagonallyDominant(t *testing.T, name string, m *matrix.COO) {
+	t.Helper()
+	n := m.Rows
+	diag := make([]float64, n)
+	off := make([]float64, n)
+	for k := range m.Val {
+		r, c := m.RowIdx[k], m.ColIdx[k]
+		if r == c {
+			diag[r] = m.Val[k]
+		} else {
+			a := math.Abs(m.Val[k])
+			off[r] += a
+			off[c] += a
+		}
+	}
+	for r := 0; r < n; r++ {
+		if diag[r] <= off[r] {
+			t.Fatalf("%s: row %d not strictly dominant: diag=%g offsum=%g", name, r, diag[r], off[r])
+			return
+		}
+	}
+}
+
+func TestGeneratedNNZPerRowApproximatesPaper(t *testing.T) {
+	for _, sp := range PaperSuite {
+		m, err := Generate(sp, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		got := float64(m.LogicalNNZ()) / float64(m.Rows)
+		want := sp.AvgNNZRow()
+		if got < want*0.5 || got > want*1.6 {
+			t.Errorf("%s: nnz/row = %.1f, paper %.1f (outside [0.5x, 1.6x])", sp.Name, got, want)
+		}
+	}
+}
+
+func TestScrambledMatricesHaveHighBandwidth(t *testing.T) {
+	for _, name := range []string{"parabolic_fem", "G3_circuit", "thermal2", "offshore"} {
+		sp, _ := SpecByName(name)
+		m, err := Generate(sp, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := matrix.ComputeStats(m)
+		if float64(st.Bandwidth) < 0.5*float64(st.Rows) {
+			t.Errorf("%s: bandwidth %d not high relative to %d rows", name, st.Bandwidth, st.Rows)
+		}
+	}
+}
+
+func TestStructuralMatricesHaveModerateBandwidth(t *testing.T) {
+	for _, name := range []string{"consph", "bmw7st_1", "ldoor", "inline_1"} {
+		sp, _ := SpecByName(name)
+		m, err := Generate(sp, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := matrix.ComputeStats(m)
+		if float64(st.Bandwidth) > 0.35*float64(st.Rows) {
+			t.Errorf("%s: bandwidth %d too high for a banded structural matrix (%d rows)",
+				name, st.Bandwidth, st.Rows)
+		}
+	}
+}
+
+func TestScaleScalesRowsNotDensity(t *testing.T) {
+	sp, _ := SpecByName("hood")
+	small, err := Generate(sp, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Generate(sp, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Rows < 3*small.Rows {
+		t.Fatalf("rows did not scale: %d vs %d", small.Rows, large.Rows)
+	}
+	ds := float64(small.LogicalNNZ()) / float64(small.Rows)
+	dl := float64(large.LogicalNNZ()) / float64(large.Rows)
+	if math.Abs(ds-dl)/dl > 0.25 {
+		t.Errorf("nnz/row drifted with scale: %.1f vs %.1f", ds, dl)
+	}
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bcsr"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/csx"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+)
+
+// Format names one SpM×V kernel configuration of the evaluation.
+type Format int
+
+const (
+	// FormatCSR is the unsymmetric baseline.
+	FormatCSR Format = iota
+	// FormatCSX is the unsymmetric compressed comparator.
+	FormatCSX
+	// FormatBCSR is the register-blocked baseline (Im & Yelick / OSKI),
+	// auto-tuned over square block candidates.
+	FormatBCSR
+	// FormatSSSNaive, FormatSSSEffective and FormatSSSIndexed are the
+	// symmetric SSS kernel under the three reduction methods of Fig. 9.
+	FormatSSSNaive
+	FormatSSSEffective
+	FormatSSSIndexed
+	// FormatCSXSym is CSX-Sym with the indexed reduction (Fig. 11).
+	FormatCSXSym
+
+	numFormats
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (f Format) String() string {
+	switch f {
+	case FormatCSR:
+		return "CSR"
+	case FormatCSX:
+		return "CSX"
+	case FormatBCSR:
+		return "BCSR"
+	case FormatSSSNaive:
+		return "SSS-naive"
+	case FormatSSSEffective:
+		return "SSS-effective"
+	case FormatSSSIndexed:
+		return "SSS-idx"
+	case FormatCSXSym:
+		return "CSX-Sym"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Symmetric reports whether the format exploits symmetry (has a reduction
+// phase when multithreaded).
+func (f Format) Symmetric() bool {
+	switch f {
+	case FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatCSXSym:
+		return true
+	}
+	return false
+}
+
+// Built is one constructed kernel: its real multiply closure (bound to a
+// pool) and its exact cost account for the platform model.
+type Built struct {
+	Format  Format
+	P       int
+	Cost    perfmodel.SpMVCost
+	Mul     func(x, y []float64)
+	Preproc time.Duration // wall-clock construction time on the host
+	Bytes   int64         // encoded matrix size
+}
+
+// Build constructs the kernel for format f at p = pool.Size() threads.
+func Build(sm *SuiteMatrix, f Format, pool *parallel.Pool) *Built {
+	p := pool.Size()
+	t0 := time.Now()
+	b := &Built{Format: f, P: p}
+	switch f {
+	case FormatCSR:
+		pk := csr.NewParallel(sm.CSR, pool)
+		b.Mul = pk.MulVec
+		b.Cost = perfmodel.CSRCost(sm.CSR)
+		b.Bytes = sm.CSR.Bytes()
+	case FormatCSX:
+		mx := csx.NewMatrix(sm.M, p, csx.DefaultOptions())
+		b.Mul = func(x, y []float64) { mx.MulVec(pool, x, y) }
+		b.Cost = perfmodel.CSXCost(mx, sm.CSR)
+		b.Bytes = mx.Bytes()
+	case FormatBCSR:
+		br, bc, err := bcsr.AutoTune(sm.M, [][2]int{{2, 2}, {3, 3}, {4, 4}, {6, 6}})
+		if err != nil {
+			panic(err)
+		}
+		a, err := bcsr.FromCOO(sm.M, br, bc)
+		if err != nil {
+			panic(err)
+		}
+		pk := bcsr.NewParallel(a, pool)
+		b.Mul = pk.MulVec
+		b.Cost = perfmodel.BCSRCost(a, sm.CSR)
+		b.Bytes = a.Bytes()
+	case FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed:
+		method := map[Format]core.ReductionMethod{
+			FormatSSSNaive:     core.Naive,
+			FormatSSSEffective: core.EffectiveRanges,
+			FormatSSSIndexed:   core.Indexed,
+		}[f]
+		k := core.NewKernel(sm.S, method, pool)
+		b.Mul = k.MulVec
+		b.Cost = perfmodel.SSSCost(k)
+		b.Bytes = sm.S.Bytes()
+	case FormatCSXSym:
+		smx := csx.NewSym(sm.S, p, core.Indexed, csx.DefaultOptions())
+		b.Mul = func(x, y []float64) { smx.MulVec(pool, x, y) }
+		b.Cost = perfmodel.CSXSymCost(smx, sm.S)
+		b.Bytes = smx.Bytes()
+	default:
+		panic("harness: unknown format " + f.String())
+	}
+	b.Preproc = time.Since(t0)
+	return b
+}
+
+// AllFormats lists every kernel configuration in presentation order.
+var AllFormats = []Format{
+	FormatCSR, FormatBCSR, FormatCSX,
+	FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatCSXSym,
+}
+
+// MeasureSpMV runs the §V-A measurement protocol on the host: iters
+// consecutive SpM×V operations with the input and output vectors swapped
+// every iteration (defeating cache reuse of x), returning the wall time per
+// operation. The vectors are renormalized periodically so repeated
+// application of the operator cannot overflow; the renormalization cost is
+// identical across formats and negligible next to the kernels.
+func MeasureSpMV(mul func(x, y []float64), n, iters int) time.Duration {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	rngFill(x)
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		mul(x, y)
+		x, y = y, x
+		if it%16 == 15 {
+			renormalize(x)
+		}
+	}
+	total := time.Since(t0)
+	return total / time.Duration(iters)
+}
+
+// rngFill deterministically fills v with values in [-1, 1).
+func rngFill(v []float64) {
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range v {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v[i] = float64(int64(state))/float64(1<<63)*0.5 + 0.25
+	}
+}
+
+// renormalize rescales v to unit max-norm (guarding against overflow across
+// repeated operator applications).
+func renormalize(v []float64) {
+	maxAbs := 0.0
+	for _, x := range v {
+		if x > maxAbs {
+			maxAbs = x
+		} else if -x > maxAbs {
+			maxAbs = -x
+		}
+	}
+	if maxAbs == 0 || (maxAbs > 0.5 && maxAbs < 2) {
+		return
+	}
+	s := 1 / maxAbs
+	for i := range v {
+		v[i] *= s
+	}
+}

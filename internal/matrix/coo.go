@@ -1,0 +1,240 @@
+// Package matrix provides the shared sparse-matrix substrate: a coordinate
+// (COO/triplet) container, Matrix Market I/O, and structural statistics
+// (bandwidth, density, symmetry checks) used by every storage format in the
+// library.
+//
+// Conventions, following the paper:
+//   - indices are 0-based int32 (4-byte indexing information),
+//   - values are float64 (8-byte double precision),
+//   - symmetric matrices are carried in *lower-triangular* form: only entries
+//     with col <= row are stored and the full operator is implied.
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a sparse matrix in coordinate (triplet) form. Entries may be in any
+// order and may contain duplicates until Normalize is called. COO is the
+// interchange representation every compressed format is built from.
+type COO struct {
+	Rows, Cols int
+	// Symmetric marks the matrix as symmetric with only the lower triangle
+	// (col <= row) stored. Structural formats (SSS, CSX-Sym) require it.
+	Symmetric bool
+
+	RowIdx []int32
+	ColIdx []int32
+	Val    []float64
+}
+
+// NewCOO returns an empty COO of the given shape with capacity for nnzHint
+// entries.
+func NewCOO(rows, cols, nnzHint int) *COO {
+	return &COO{
+		Rows:   rows,
+		Cols:   cols,
+		RowIdx: make([]int32, 0, nnzHint),
+		ColIdx: make([]int32, 0, nnzHint),
+		Val:    make([]float64, 0, nnzHint),
+	}
+}
+
+// NNZ reports the number of stored entries. For a Symmetric COO this counts
+// stored (lower-triangular) entries, not the logical nonzeros of the full
+// operator; see LogicalNNZ.
+func (m *COO) NNZ() int { return len(m.Val) }
+
+// LogicalNNZ reports the number of nonzeros of the represented operator:
+// equal to NNZ for general matrices, and 2*NNZ - #diagonal for symmetric
+// lower-triangular storage.
+func (m *COO) LogicalNNZ() int {
+	if !m.Symmetric {
+		return m.NNZ()
+	}
+	diag := 0
+	for k := range m.Val {
+		if m.RowIdx[k] == m.ColIdx[k] {
+			diag++
+		}
+	}
+	return 2*m.NNZ() - diag
+}
+
+// Add appends one entry. It panics on out-of-range coordinates and, for
+// symmetric matrices, on upper-triangular coordinates.
+func (m *COO) Add(r, c int, v float64) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("matrix: entry (%d,%d) outside %dx%d", r, c, m.Rows, m.Cols))
+	}
+	if m.Symmetric && c > r {
+		panic(fmt.Sprintf("matrix: symmetric COO stores the lower triangle only, got (%d,%d)", r, c))
+	}
+	m.RowIdx = append(m.RowIdx, int32(r))
+	m.ColIdx = append(m.ColIdx, int32(c))
+	m.Val = append(m.Val, v)
+}
+
+// Clone returns a deep copy.
+func (m *COO) Clone() *COO {
+	c := &COO{
+		Rows: m.Rows, Cols: m.Cols, Symmetric: m.Symmetric,
+		RowIdx: append([]int32(nil), m.RowIdx...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Normalize sorts the entries into row-major order and sums duplicates.
+// Explicit zeros produced by cancellation are kept; structural zeros are the
+// caller's concern. Normalize returns the receiver for chaining.
+func (m *COO) Normalize() *COO {
+	n := m.NNZ()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		if m.RowIdx[i] != m.RowIdx[j] {
+			return m.RowIdx[i] < m.RowIdx[j]
+		}
+		return m.ColIdx[i] < m.ColIdx[j]
+	})
+
+	ri := make([]int32, 0, n)
+	ci := make([]int32, 0, n)
+	vv := make([]float64, 0, n)
+	for _, k := range perm {
+		r, c, v := m.RowIdx[k], m.ColIdx[k], m.Val[k]
+		if len(ri) > 0 && ri[len(ri)-1] == r && ci[len(ci)-1] == c {
+			vv[len(vv)-1] += v
+			continue
+		}
+		ri = append(ri, r)
+		ci = append(ci, c)
+		vv = append(vv, v)
+	}
+	m.RowIdx, m.ColIdx, m.Val = ri, ci, vv
+	return m
+}
+
+// IsNormalized reports whether entries are strictly row-major sorted with no
+// duplicates.
+func (m *COO) IsNormalized() bool {
+	for k := 1; k < m.NNZ(); k++ {
+		if m.RowIdx[k] < m.RowIdx[k-1] {
+			return false
+		}
+		if m.RowIdx[k] == m.RowIdx[k-1] && m.ColIdx[k] <= m.ColIdx[k-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToLowerSymmetric converts a general COO that is numerically symmetric into
+// lower-triangular symmetric storage, dropping the upper triangle. It returns
+// an error if the matrix is not square.
+func (m *COO) ToLowerSymmetric() (*COO, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: ToLowerSymmetric on %dx%d non-square matrix", m.Rows, m.Cols)
+	}
+	out := NewCOO(m.Rows, m.Cols, m.NNZ()/2+m.Rows)
+	out.Symmetric = true
+	for k := range m.Val {
+		if m.ColIdx[k] <= m.RowIdx[k] {
+			out.Add(int(m.RowIdx[k]), int(m.ColIdx[k]), m.Val[k])
+		}
+	}
+	out.Normalize()
+	return out, nil
+}
+
+// ToGeneral expands symmetric lower-triangular storage into a full general
+// COO (both triangles stored explicitly). For non-symmetric input it returns
+// a normalized clone.
+func (m *COO) ToGeneral() *COO {
+	out := NewCOO(m.Rows, m.Cols, m.LogicalNNZ())
+	for k := range m.Val {
+		r, c := int(m.RowIdx[k]), int(m.ColIdx[k])
+		out.Add(r, c, m.Val[k])
+		if m.Symmetric && r != c {
+			// mirrored entry: note out is not Symmetric, so Add allows it
+			out.Add(c, r, m.Val[k])
+		}
+	}
+	out.Symmetric = false
+	return out.Normalize()
+}
+
+// MulVec computes y = A·x with the trivial triplet kernel. It is the
+// reference implementation every optimized format is verified against.
+// x and y must have length Cols and Rows respectively; y is overwritten.
+func (m *COO) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("matrix: MulVec dims: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for k := range m.Val {
+		r, c, v := m.RowIdx[k], m.ColIdx[k], m.Val[k]
+		y[r] += v * x[c]
+		if m.Symmetric && r != c {
+			y[c] += v * x[r]
+		}
+	}
+}
+
+// Permute returns P·A·Pᵀ for the permutation perm, where perm[i] is the new
+// index of old row/column i. The receiver must be square. Symmetric matrices
+// stay lower-triangular: a permuted entry landing in the upper triangle is
+// mirrored back.
+func (m *COO) Permute(perm []int32) (*COO, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: Permute on %dx%d non-square matrix", m.Rows, m.Cols)
+	}
+	if len(perm) != m.Rows {
+		return nil, fmt.Errorf("matrix: Permute: len(perm)=%d, want %d", len(perm), m.Rows)
+	}
+	out := NewCOO(m.Rows, m.Cols, m.NNZ())
+	out.Symmetric = m.Symmetric
+	for k := range m.Val {
+		r := perm[m.RowIdx[k]]
+		c := perm[m.ColIdx[k]]
+		if m.Symmetric && c > r {
+			r, c = c, r
+		}
+		out.Add(int(r), int(c), m.Val[k])
+	}
+	return out.Normalize(), nil
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation. It is used by tests and by the Matrix Market reader.
+func (m *COO) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("matrix: negative shape %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowIdx) != len(m.Val) || len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("matrix: ragged triplet arrays: %d/%d/%d",
+			len(m.RowIdx), len(m.ColIdx), len(m.Val))
+	}
+	if m.Symmetric && m.Rows != m.Cols {
+		return fmt.Errorf("matrix: symmetric flag on %dx%d non-square matrix", m.Rows, m.Cols)
+	}
+	for k := range m.Val {
+		r, c := m.RowIdx[k], m.ColIdx[k]
+		if r < 0 || int(r) >= m.Rows || c < 0 || int(c) >= m.Cols {
+			return fmt.Errorf("matrix: entry %d at (%d,%d) outside %dx%d", k, r, c, m.Rows, m.Cols)
+		}
+		if m.Symmetric && c > r {
+			return fmt.Errorf("matrix: entry %d at (%d,%d) in upper triangle of symmetric matrix", k, r, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCOOAndAdd(t *testing.T) {
+	m := NewCOO(4, 4, 8)
+	m.Add(0, 0, 1)
+	m.Add(3, 2, -2.5)
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range entry")
+		}
+	}()
+	NewCOO(2, 2, 1).Add(2, 0, 1)
+}
+
+func TestAddPanicsUpperTriangleOnSymmetric(t *testing.T) {
+	m := NewCOO(3, 3, 1)
+	m.Symmetric = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for upper-triangle entry on symmetric COO")
+		}
+	}()
+	m.Add(0, 2, 1)
+}
+
+func TestNormalizeSortsAndSumsDuplicates(t *testing.T) {
+	m := NewCOO(3, 3, 6)
+	m.Add(2, 1, 1)
+	m.Add(0, 0, 2)
+	m.Add(2, 1, 3)
+	m.Add(1, 2, 5)
+	m.Normalize()
+	if !m.IsNormalized() {
+		t.Fatal("not normalized after Normalize")
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ after dedup = %d, want 3", m.NNZ())
+	}
+	// (2,1) should hold 1+3 = 4.
+	found := false
+	for k := range m.Val {
+		if m.RowIdx[k] == 2 && m.ColIdx[k] == 1 {
+			found = true
+			if m.Val[k] != 4 {
+				t.Errorf("duplicate sum = %g, want 4", m.Val[k])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("entry (2,1) lost")
+	}
+}
+
+func TestLogicalNNZ(t *testing.T) {
+	m := NewCOO(3, 3, 4)
+	m.Symmetric = true
+	m.Add(0, 0, 1)
+	m.Add(1, 1, 1)
+	m.Add(2, 0, 5) // off-diagonal: counts twice
+	if got := m.LogicalNNZ(); got != 4 {
+		t.Fatalf("LogicalNNZ = %d, want 4", got)
+	}
+	g := NewCOO(3, 3, 2)
+	g.Add(0, 1, 1)
+	g.Add(2, 2, 1)
+	if got := g.LogicalNNZ(); got != 2 {
+		t.Fatalf("general LogicalNNZ = %d, want 2", got)
+	}
+}
+
+func TestToGeneralMatchesSymmetricMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewCOO(50, 50, 200)
+	m.Symmetric = true
+	for r := 0; r < 50; r++ {
+		m.Add(r, r, 2+rng.Float64())
+		for k := 0; k < 3 && r > 0; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	m.Normalize()
+	g := m.ToGeneral()
+	if g.Symmetric {
+		t.Fatal("ToGeneral result still marked symmetric")
+	}
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 50)
+	y2 := make([]float64, 50)
+	m.MulVec(x, y1)
+	g.MulVec(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("row %d: symmetric %g vs general %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestToLowerSymmetricRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewCOO(40, 40, 160)
+	m.Symmetric = true
+	for r := 0; r < 40; r++ {
+		m.Add(r, r, 1)
+		for k := 0; k < 2 && r > 0; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	m.Normalize()
+	g := m.ToGeneral()
+	back, err := g.ToLowerSymmetric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip NNZ %d, want %d", back.NNZ(), m.NNZ())
+	}
+	for k := range m.Val {
+		if back.RowIdx[k] != m.RowIdx[k] || back.ColIdx[k] != m.ColIdx[k] ||
+			math.Abs(back.Val[k]-m.Val[k]) > 1e-15 {
+			t.Fatalf("entry %d differs after round trip", k)
+		}
+	}
+}
+
+func TestPermuteIsSimilarityTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 30
+	m := NewCOO(n, n, 4*n)
+	m.Symmetric = true
+	for r := 0; r < n; r++ {
+		m.Add(r, r, 3)
+		if r > 0 {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	m.Normalize()
+
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+	pm, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (P·A·Pᵀ)·(P·x) must equal P·(A·x).
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	px := make([]float64, n)
+	for i := range x {
+		px[perm[i]] = x[i]
+	}
+	y := make([]float64, n)
+	m.MulVec(x, y)
+	py := make([]float64, n)
+	pm.MulVec(px, py)
+	for i := range y {
+		if math.Abs(py[perm[i]]-y[i]) > 1e-12 {
+			t.Fatalf("row %d: permuted multiply mismatch: %g vs %g", i, py[perm[i]], y[i])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := NewCOO(3, 3, 2)
+	m.Add(1, 1, 1)
+	m.ColIdx[0] = 7 // corrupt
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range column")
+	}
+	m2 := NewCOO(3, 4, 0)
+	m2.Symmetric = true
+	if err := m2.Validate(); err == nil {
+		t.Fatal("Validate accepted non-square symmetric matrix")
+	}
+}
+
+// Property: Normalize is idempotent and preserves MulVec semantics.
+func TestQuickNormalizePreservesMultiply(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		m := NewCOO(n, n, 0)
+		entries := rng.Intn(120)
+		for k := 0; k < entries; k++ {
+			m.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		m.MulVec(x, y1)
+		m.Normalize()
+		if !m.IsNormalized() {
+			return false
+		}
+		y2 := make([]float64, n)
+		m.MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewCOO(4, 4, 6)
+	m.Symmetric = true
+	m.Add(0, 0, 1)
+	m.Add(1, 1, 1)
+	m.Add(2, 2, 1)
+	m.Add(3, 3, 1)
+	m.Add(3, 0, 5)
+	m.Add(2, 1, 5)
+	m.Normalize()
+	s := ComputeStats(m)
+	if s.Bandwidth != 3 {
+		t.Errorf("Bandwidth = %d, want 3", s.Bandwidth)
+	}
+	if s.LogicalNNZ != 8 {
+		t.Errorf("LogicalNNZ = %d, want 8", s.LogicalNNZ)
+	}
+	if s.DiagNNZ != 4 {
+		t.Errorf("DiagNNZ = %d, want 4", s.DiagNNZ)
+	}
+	if s.MaxRowNNZ != 2 {
+		t.Errorf("MaxRowNNZ = %d, want 2", s.MaxRowNNZ)
+	}
+	wantCSR := int64(12*8 + 4*5)
+	if s.CSRBytes != wantCSR {
+		t.Errorf("CSRBytes = %d, want %d", s.CSRBytes, wantCSR)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		17:       "17 B",
+		2048:     "2.00 KiB",
+		46202472: "44.06 MiB",
+		3 << 30:  "3.00 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market exchange format support (the format the University of
+// Florida collection distributes, which the paper's suite comes from).
+// Supported object/format/field/symmetry combinations:
+//
+//	matrix coordinate real|integer|pattern general|symmetric
+//
+// Pattern matrices read with all values set to 1. Symmetric files load into
+// lower-triangular symmetric COO storage, exactly as the UF collection stores
+// them.
+
+// ReadMatrixMarket parses a Matrix Market stream into a normalized COO.
+func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("matrixmarket: reading header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return nil, fmt.Errorf("matrixmarket: bad header %q", strings.TrimSpace(header))
+	}
+	object, format, field, symmetry := fields[1], fields[2], fields[3], fields[4]
+	if object != "matrix" {
+		return nil, fmt.Errorf("matrixmarket: unsupported object %q", object)
+	}
+	if format != "coordinate" {
+		return nil, fmt.Errorf("matrixmarket: unsupported format %q (only coordinate)", format)
+	}
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var sizeLine string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("matrixmarket: missing size line: %w", err)
+		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "%") {
+			if err != nil {
+				return nil, fmt.Errorf("matrixmarket: missing size line: %w", err)
+			}
+			continue
+		}
+		sizeLine = t
+		break
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", sizeLine, err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("matrixmarket: negative dimension in size line %q", sizeLine)
+	}
+
+	m := NewCOO(rows, cols, nnz)
+	m.Symmetric = symmetry == "symmetric"
+	if m.Symmetric && rows != cols {
+		return nil, fmt.Errorf("matrixmarket: symmetric %dx%d matrix is not square", rows, cols)
+	}
+
+	read := 0
+	for read < nnz {
+		line, err := br.ReadString('\n')
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "%") {
+			f := strings.Fields(t)
+			want := 3
+			if field == "pattern" {
+				want = 2
+			}
+			if len(f) < want {
+				return nil, fmt.Errorf("matrixmarket: entry %d: short line %q", read+1, t)
+			}
+			r1, err1 := strconv.Atoi(f[0])
+			c1, err2 := strconv.Atoi(f[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("matrixmarket: entry %d: bad indices in %q", read+1, t)
+			}
+			v := 1.0
+			if field != "pattern" {
+				v, err1 = strconv.ParseFloat(f[2], 64)
+				if err1 != nil {
+					return nil, fmt.Errorf("matrixmarket: entry %d: bad value in %q", read+1, t)
+				}
+			}
+			r0, c0 := r1-1, c1-1 // Matrix Market is 1-based
+			if r0 < 0 || r0 >= rows || c0 < 0 || c0 >= cols {
+				return nil, fmt.Errorf("matrixmarket: entry %d at (%d,%d) outside %dx%d", read+1, r1, c1, rows, cols)
+			}
+			if m.Symmetric && c0 > r0 {
+				// UF symmetric files store the lower triangle, but be liberal:
+				// mirror stray upper entries down.
+				r0, c0 = c0, r0
+			}
+			m.Add(r0, c0, v)
+			read++
+		}
+		if err != nil {
+			if err == io.EOF && read == nnz {
+				break
+			}
+			if err == io.EOF {
+				return nil, fmt.Errorf("matrixmarket: expected %d entries, got %d", nnz, read)
+			}
+			return nil, fmt.Errorf("matrixmarket: entry %d: %w", read+1, err)
+		}
+	}
+	return m.Normalize(), nil
+}
+
+// WriteMatrixMarket writes m in Matrix Market coordinate real format,
+// using the symmetric qualifier for lower-triangular symmetric storage.
+func WriteMatrixMarket(w io.Writer, m *COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	sym := "general"
+	if m.Symmetric {
+		sym = "symmetric"
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real %s\n", sym); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for k := range m.Val {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", m.RowIdx[k]+1, m.ColIdx[k]+1, m.Val[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarketFile loads a .mtx file from disk.
+func ReadMatrixMarketFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadMatrixMarket(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteMatrixMarketFile saves m as a .mtx file.
+func WriteMatrixMarketFile(path string, m *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteMatrixMarket(f, m); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

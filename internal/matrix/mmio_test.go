@@ -1,0 +1,118 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1e3
+2 2 0.125
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 3 || m.Symmetric {
+		t.Fatalf("parsed shape %dx%d nnz=%d sym=%v", m.Rows, m.Cols, m.NNZ(), m.Symmetric)
+	}
+	if m.Val[0] != 2.5 || m.RowIdx[0] != 0 || m.ColIdx[0] != 0 {
+		t.Errorf("first entry = (%d,%d,%g)", m.RowIdx[0], m.ColIdx[0], m.Val[0])
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 4
+2 1 -1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Symmetric || m.LogicalNNZ() != 3 {
+		t.Fatalf("sym=%v logical=%d", m.Symmetric, m.LogicalNNZ())
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.Val[0] != 1 {
+		t.Fatalf("pattern values: %v", m.Val)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "%%NotMatrixMarket matrix coordinate real general\n1 1 0\n",
+		"bad object":      "%%MatrixMarket tensor coordinate real general\n1 1 0\n",
+		"array format":    "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"bad field":       "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"nonsquare sym":   "%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n",
+		"short entries":   "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"out of range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"malformed value": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewCOO(60, 60, 240)
+	m.Symmetric = true
+	for r := 0; r < 60; r++ {
+		m.Add(r, r, 1+rng.Float64())
+		for k := 0; k < 3 && r > 0; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	m.Normalize()
+
+	path := filepath.Join(t.TempDir(), "roundtrip.mtx")
+	if err := WriteMatrixMarketFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.NNZ() != m.NNZ() || back.Symmetric != m.Symmetric {
+		t.Fatalf("shape mismatch after round trip: %dx%d nnz=%d", back.Rows, back.Cols, back.NNZ())
+	}
+	for k := range m.Val {
+		if back.RowIdx[k] != m.RowIdx[k] || back.ColIdx[k] != m.ColIdx[k] {
+			t.Fatalf("entry %d coordinates differ", k)
+		}
+		if math.Abs(back.Val[k]-m.Val[k]) > 0 {
+			// %.17g round-trips float64 exactly
+			t.Fatalf("entry %d value %g != %g", k, back.Val[k], m.Val[k])
+		}
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := ReadMatrixMarketFile("/nonexistent/nope.mtx"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,104 @@
+// Package parallel provides a persistent worker pool with barrier semantics.
+//
+// The paper's implementation uses explicit Pthreads bound to cores and reuses
+// the same threads across the 128 SpM×V iterations of the measurement
+// protocol. Spawning fresh goroutines per kernel invocation would charge the
+// kernels with scheduler overhead the paper does not have, so Pool keeps p
+// long-lived workers that block on a dispatch channel and signal completion
+// through a shared WaitGroup.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size set of persistent workers. A Pool must be created with
+// NewPool and released with Close. It is safe for repeated use from a single
+// coordinating goroutine; Run calls must not be issued concurrently.
+type Pool struct {
+	n      int
+	work   []chan func(tid int)
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewPool starts n persistent workers. n must be positive.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("parallel: NewPool(%d): size must be positive", n))
+	}
+	p := &Pool{
+		n:    n,
+		work: make([]chan func(tid int), n),
+	}
+	for i := 0; i < n; i++ {
+		p.work[i] = make(chan func(tid int))
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pool) worker(tid int) {
+	for fn := range p.work[tid] {
+		fn(tid)
+		p.wg.Done()
+	}
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int { return p.n }
+
+// Run executes fn(tid) on every worker, tid in [0, Size()), and blocks until
+// all workers have finished (a barrier).
+func (p *Pool) Run(fn func(tid int)) {
+	if p.closed {
+		panic("parallel: Run on closed Pool")
+	}
+	p.wg.Add(p.n)
+	for i := 0; i < p.n; i++ {
+		p.work[i] <- fn
+	}
+	p.wg.Wait()
+}
+
+// RunChunked partitions [0, n) into Size() nearly equal contiguous chunks and
+// executes fn(tid, lo, hi) per worker. Workers whose chunk is empty still run
+// with lo == hi so that fn can rely on being invoked exactly Size() times.
+func (p *Pool) RunChunked(n int, fn func(tid, lo, hi int)) {
+	p.Run(func(tid int) {
+		lo, hi := Chunk(n, p.n, tid)
+		fn(tid, lo, hi)
+	})
+}
+
+// Close terminates the workers. The Pool must not be used afterwards.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for i := 0; i < p.n; i++ {
+		close(p.work[i])
+	}
+}
+
+// Chunk returns the half-open range [lo, hi) of the tid-th of p nearly equal
+// contiguous chunks of [0, n). Earlier chunks receive the remainder elements,
+// matching the row-splitting used by the reduction phase in the paper.
+func Chunk(n, p, tid int) (lo, hi int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("parallel: Chunk with %d parts", p))
+	}
+	q, r := n/p, n%p
+	lo = tid*q + min(tid, r)
+	hi = lo + q
+	if tid < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// DefaultThreads returns a reasonable default worker count: GOMAXPROCS.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }

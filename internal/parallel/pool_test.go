@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolRunsAllWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		p := NewPool(n)
+		seen := make([]int32, n)
+		p.Run(func(tid int) { atomic.AddInt32(&seen[tid], 1) })
+		p.Run(func(tid int) { atomic.AddInt32(&seen[tid], 1) })
+		p.Close()
+		for tid, c := range seen {
+			if c != 2 {
+				t.Fatalf("n=%d: worker %d ran %d times, want 2", n, tid, c)
+			}
+		}
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var counter int64
+	for round := 0; round < 10; round++ {
+		p.Run(func(int) { atomic.AddInt64(&counter, 1) })
+		// If Run returned before all workers finished, this read could see
+		// a partial count.
+		if got := atomic.LoadInt64(&counter); got != int64(4*(round+1)) {
+			t.Fatalf("after round %d: counter = %d, want %d", round, got, 4*(round+1))
+		}
+	}
+}
+
+func TestRunChunkedCoversRange(t *testing.T) {
+	p := NewPool(5)
+	defer p.Close()
+	const n = 103
+	marks := make([]int32, n)
+	p.RunChunked(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+func TestNewPoolPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NewPool(0)")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestCloseThenRunPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // double Close is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Run after Close")
+		}
+	}()
+	p.Run(func(int) {})
+}
+
+// Property: Chunk partitions [0,n) exactly — contiguous, ordered, covering.
+func TestQuickChunk(t *testing.T) {
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 5000)
+		p := 1 + int(pRaw%64)
+		prevHi := 0
+		for tid := 0; tid < p; tid++ {
+			lo, hi := Chunk(n, p, tid)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBalance(t *testing.T) {
+	lo0, hi0 := Chunk(10, 3, 0)
+	lo1, hi1 := Chunk(10, 3, 1)
+	lo2, hi2 := Chunk(10, 3, 2)
+	if hi0-lo0 != 4 || hi1-lo1 != 3 || hi2-lo2 != 3 {
+		t.Fatalf("Chunk(10,3): sizes %d,%d,%d", hi0-lo0, hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestDefaultThreadsPositive(t *testing.T) {
+	if DefaultThreads() < 1 {
+		t.Fatal("DefaultThreads < 1")
+	}
+}

@@ -1,0 +1,281 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/bcsr"
+	"repro/internal/core"
+	"repro/internal/csb"
+	"repro/internal/csr"
+	"repro/internal/csx"
+)
+
+// SpMVCost is the per-iteration flop/byte account of one SpM×V kernel
+// configuration, split into the multiplication and reduction phases. All
+// byte counts come from the real encoded data structures.
+//
+// The input-vector locality of the kernel is carried separately
+// (XAccesses/XSpanBytes): x accesses that fall outside the platform's
+// per-thread cache span are charged extra traffic, the cache-miss effect
+// that matrix reordering removes.
+type SpMVCost struct {
+	Name        string
+	MultFlops   int64
+	MultBytes   int64
+	RedFlops    int64
+	RedBytes    int64
+	UsefulFlops int64 // 2·NNZ_logical, the numerator of the Gflop/s metric
+
+	// XAccesses is the number of irregular input-vector reads per
+	// operation; XSpanBytes the average span of those accesses,
+	// 8·(2·avg|r−c| + 1) capped at the vector size.
+	XAccesses  int64
+	XSpanBytes int64
+
+	// AtomicOps counts lock-prefixed updates per operation (Atomic ablation
+	// method only); priced by Platform.AtomicNs, divided across threads.
+	AtomicOps int64
+}
+
+// xExtraBytes is the modeled extra traffic from x accesses missing the
+// per-thread cache: one additional 8-byte word per missing access (partial
+// line reuse keeps the cost below a full 64-byte line).
+func (c SpMVCost) xExtraBytes(pl Platform) int64 {
+	m := pl.XMissFraction(c.XSpanBytes)
+	return int64(m * 8 * float64(c.XAccesses))
+}
+
+// Seconds predicts the kernel time at p threads on pl: the multiply phase
+// plus (when present) the reduction phase, each ending in a barrier.
+func (c SpMVCost) Seconds(pl Platform, p int) float64 {
+	t := c.MultSeconds(pl, p)
+	if c.RedBytes > 0 || c.RedFlops > 0 {
+		t += pl.PhaseSeconds(p, c.RedFlops, c.RedBytes)
+	}
+	return t
+}
+
+// MultSeconds predicts the multiplication phase alone (Fig. 10).
+func (c SpMVCost) MultSeconds(pl Platform, p int) float64 {
+	t := pl.PhaseSeconds(p, c.MultFlops, c.MultBytes+c.xExtraBytes(pl))
+	if c.AtomicOps > 0 {
+		// Locked updates are latency-bound and spread across the threads.
+		t += float64(c.AtomicOps) * pl.AtomicNs * 1e-9 / float64(p)
+	}
+	return t
+}
+
+// RedSeconds predicts the reduction phase alone.
+func (c SpMVCost) RedSeconds(pl Platform, p int) float64 {
+	if c.RedBytes == 0 && c.RedFlops == 0 {
+		return 0
+	}
+	return pl.PhaseSeconds(p, c.RedFlops, c.RedBytes)
+}
+
+// SerialSeconds predicts the single-thread kernel (no barriers, both phases
+// merged — a serial symmetric kernel has no reduction at all).
+func (c SpMVCost) SerialSeconds(pl Platform) float64 {
+	t := pl.SerialSeconds(c.MultFlops, c.MultBytes+c.xExtraBytes(pl))
+	if c.AtomicOps > 0 {
+		t += float64(c.AtomicOps) * pl.AtomicNs * 1e-9
+	}
+	return t
+}
+
+// Gflops reports the paper's performance metric at p threads.
+func (c SpMVCost) Gflops(pl Platform, p int) float64 {
+	return Gflops(c.UsefulFlops, c.Seconds(pl, p))
+}
+
+// xProfile computes the irregular-access span statistic of a CSR-layout
+// structure: 8·(2·avg|r−c| + 1) bytes, capped at the full vector.
+func xProfile(rowPtr, colIdx []int32, n int) (spanBytes int64) {
+	var sum float64
+	for r := 0; r+1 < len(rowPtr); r++ {
+		for j := rowPtr[r]; j < rowPtr[r+1]; j++ {
+			d := int(colIdx[j]) - r
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+		}
+	}
+	nnz := int64(rowPtr[len(rowPtr)-1])
+	if nnz == 0 {
+		return 8
+	}
+	span := int64(8 * (2*sum/float64(nnz) + 1))
+	if cap := int64(8 * n); span > cap {
+		span = cap
+	}
+	return span
+}
+
+// CSRCost accounts the baseline CSR kernel: the matrix stream (Eq. 1), x
+// read once, y written once; no reduction phase.
+func CSRCost(a *csr.Matrix) SpMVCost {
+	nnz := int64(a.NNZ())
+	n := int64(a.Rows)
+	return SpMVCost{
+		Name:        "CSR",
+		MultFlops:   2 * nnz,
+		MultBytes:   a.Bytes() + 8*n /* x */ + 8*n, /* y */
+		UsefulFlops: 2 * nnz,
+		XAccesses:   nnz,
+		XSpanBytes:  xProfile(a.RowPtr, a.ColIdx, a.Cols),
+	}
+}
+
+// CSXCost accounts the unsymmetric CSX kernel: the compressed stream
+// replaces the CSR arrays; vector traffic and x locality are those of the
+// same operator (orig supplies the access profile).
+func CSXCost(mx *csx.Matrix, orig *csr.Matrix) SpMVCost {
+	nnz := int64(mx.NNZ())
+	n := int64(mx.Rows)
+	return SpMVCost{
+		Name:        "CSX",
+		MultFlops:   2 * nnz,
+		MultBytes:   mx.Bytes() + 8*n + 8*n,
+		UsefulFlops: 2 * nnz,
+		XAccesses:   nnz,
+		XSpanBytes:  xProfile(orig.RowPtr, orig.ColIdx, orig.Cols),
+	}
+}
+
+// BCSRCost accounts the register-blocked BCSR kernel: explicit fill inflates
+// both the value stream and the flop count, while the per-block indexing
+// shrinks the index stream; only the logical nonzeros count as useful flops.
+func BCSRCost(a *bcsr.Matrix, orig *csr.Matrix) SpMVCost {
+	n := int64(a.Rows)
+	stored := int64(len(a.Val))
+	return SpMVCost{
+		Name:        fmt.Sprintf("BCSR-%dx%d", a.BR, a.BC),
+		MultFlops:   2 * stored,
+		MultBytes:   a.Bytes() + 8*n + 8*n,
+		UsefulFlops: 2 * int64(a.NNZ()),
+		// One irregular x access per block column touch; the block's BC
+		// elements are contiguous, so they count as a single span probe.
+		XAccesses:  int64(a.Blocks()),
+		XSpanBytes: xProfile(orig.RowPtr, orig.ColIdx, orig.Cols),
+	}
+}
+
+// CSBSymCost accounts the CSB-Sym comparator (Buluç et al.): 12-byte
+// elements with short block-local coordinates, transposed writes to the two
+// offset buffers, atomics for far blocks, and a thread-count-independent
+// reduction of three full-length vector additions.
+func CSBSymCost(sm *csb.SymMatrix, orig *core.SSS) SpMVCost {
+	n := int64(sm.N)
+	nnzLower := int64(sm.NNZLower())
+	flops := 2*n + 4*nnzLower
+	acc, span := symXProfile(orig)
+	buffered := sm.OffsetElems[1] + sm.OffsetElems[2]
+	return SpMVCost{
+		Name:        "CSB-Sym",
+		MultFlops:   flops,
+		MultBytes:   sm.Bytes() + 8*n /* x */ + 8*n /* y */ + 8*buffered,
+		RedFlops:    3 * n,
+		RedBytes:    8 * 4 * n, // read buf1+buf2+far, read-modify-write y
+		UsefulFlops: flops,
+		XAccesses:   acc,
+		XSpanBytes:  span,
+		AtomicOps:   sm.FarElems,
+	}
+}
+
+// symXProfile computes the x-access statistics of a symmetric kernel over
+// the strict lower triangle: every stored element reads both x[c] (span
+// |r−c|) and x[r] (local), plus the diagonal pass.
+func symXProfile(s *core.SSS) (accesses, spanBytes int64) {
+	var sum float64
+	for r := 0; r+1 < len(s.RowPtr); r++ {
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			d := r - int(s.ColIdx[j])
+			sum += float64(d)
+		}
+	}
+	nnz := int64(len(s.Val))
+	accesses = 2*nnz + int64(s.N)
+	if nnz == 0 {
+		return accesses, 8
+	}
+	span := int64(8 * (2*sum/float64(nnz) + 1))
+	if cap := int64(8 * s.N); span > cap {
+		span = cap
+	}
+	return accesses, span
+}
+
+// SSSCost accounts the symmetric SSS kernel under its configured reduction
+// method, straight from the kernel's exact Traffic counters.
+func SSSCost(k *core.Kernel) SpMVCost {
+	t := k.Traffic()
+	acc, span := symXProfile(k.S)
+	return SpMVCost{
+		Name:        "SSS-" + k.Method.String(),
+		MultFlops:   t.MultFlops,
+		MultBytes:   t.MultMatrixBytes + t.MultVectorBytes,
+		RedFlops:    t.RedFlops,
+		RedBytes:    t.RedBytes,
+		UsefulFlops: t.MultFlops,
+		XAccesses:   acc,
+		XSpanBytes:  span,
+		AtomicOps:   t.AtomicOps,
+	}
+}
+
+// CSXSymCost accounts the CSX-Sym kernel: the compressed lower-triangle
+// stream plus dvalues in the multiply phase, and the same local-vectors
+// reduction traffic as the SSS kernel with the same method (the reduction is
+// shared machinery — core.LocalVectors). orig supplies the x profile.
+func CSXSymCost(sm *csx.SymMatrix, orig *core.SSS) SpMVCost {
+	n := int64(sm.N)
+	nnzLower := int64(sm.NNZLower())
+	flops := 2*n + 4*nnzLower
+	p := int64(sm.Part.P())
+	acc, span := symXProfile(orig)
+
+	c := SpMVCost{
+		Name:        "CSX-Sym-" + sm.Method.String(),
+		MultFlops:   flops,
+		UsefulFlops: flops,
+		XAccesses:   acc,
+		XSpanBytes:  span,
+	}
+	xBytes := 8 * n
+	yBytes := 8 * n
+	switch sm.Method {
+	case core.Naive:
+		c.MultBytes = sm.Bytes() + xBytes + 8*p*n
+		c.RedBytes = 8*p*n + yBytes
+		c.RedFlops = p * n
+	case core.EffectiveRanges:
+		eff := sm.LV.EffectiveRegionSize()
+		c.MultBytes = sm.Bytes() + xBytes + yBytes + 8*eff
+		c.RedBytes = 8*eff + yBytes
+		c.RedFlops = eff
+	case core.Indexed:
+		e := int64(sm.LV.IndexLen())
+		c.MultBytes = sm.Bytes() + xBytes + yBytes + 8*e
+		c.RedBytes = 8*e + 8*e + 8*e
+		c.RedFlops = e
+	}
+	return c
+}
+
+// SerialSSSCost accounts the serial symmetric kernel (Alg. 2) — the
+// baseline of the Fig. 5 overhead ratios and the unit of the §V-E
+// preprocessing cost.
+func SerialSSSCost(s *core.SSS) SpMVCost {
+	t := core.SerialTraffic(s)
+	acc, span := symXProfile(s)
+	return SpMVCost{
+		Name:        "SSS-serial",
+		MultFlops:   t.MultFlops,
+		MultBytes:   t.MultMatrixBytes + t.MultVectorBytes,
+		UsefulFlops: t.MultFlops,
+		XAccesses:   acc,
+		XSpanBytes:  span,
+	}
+}

@@ -1,0 +1,156 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// banded builds a symmetric banded matrix, then scrambles it with a random
+// permutation — RCM should recover (approximately) the banded form.
+func scrambledBanded(rng *rand.Rand, n, halfBW int) (*matrix.COO, int) {
+	m := matrix.NewCOO(n, n, n*(halfBW+1))
+	m.Symmetric = true
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	add := func(a, b int, v float64) {
+		pa, pb := int(perm[a]), int(perm[b])
+		if pa < pb {
+			pa, pb = pb, pa
+		}
+		m.Add(pa, pb, v)
+	}
+	for r := 0; r < n; r++ {
+		add(r, r, 4)
+		for d := 1; d <= halfBW && r-d >= 0; d++ {
+			add(r, r-d, -1)
+		}
+	}
+	m.Normalize()
+	return m, halfBW
+}
+
+func TestRCMPermutationIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m, _ := scrambledBanded(rng, 200, 3)
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, halfBW := scrambledBanded(rng, 500, 3)
+	before := matrix.ComputeStats(m).Bandwidth
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Apply(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := matrix.ComputeStats(pm).Bandwidth
+	if after >= before/4 {
+		t.Fatalf("RCM did not reduce bandwidth enough: %d -> %d", before, after)
+	}
+	// A chain-like banded graph should come back to within a small factor of
+	// the original half bandwidth.
+	if after > 8*halfBW {
+		t.Errorf("recovered bandwidth %d far above original %d", after, halfBW)
+	}
+}
+
+func TestRCMHandlesDisconnectedComponents(t *testing.T) {
+	m := matrix.NewCOO(10, 10, 12)
+	m.Symmetric = true
+	for r := 0; r < 10; r++ {
+		m.Add(r, r, 1)
+	}
+	// Two separate chains: 0-1-2 and 7-8-9; vertices 3..6 isolated.
+	m.Add(1, 0, -1)
+	m.Add(2, 1, -1)
+	m.Add(8, 7, -1)
+	m.Add(9, 8, -1)
+	m.Normalize()
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation(perm, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMTinyAndEmpty(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		m := matrix.NewCOO(n, n, n)
+		m.Symmetric = true
+		for r := 0; r < n; r++ {
+			m.Add(r, r, 1)
+		}
+		perm, err := RCM(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePermutation(perm, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRCMRejectsNonSquare(t *testing.T) {
+	m := matrix.NewCOO(3, 4, 0)
+	if _, err := RCM(m); err == nil {
+		t.Fatal("RCM accepted non-square matrix")
+	}
+}
+
+func TestValidatePermutation(t *testing.T) {
+	if err := ValidatePermutation([]int32{0, 1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePermutation([]int32{0, 0, 2}, 3); err == nil {
+		t.Fatal("accepted duplicate")
+	}
+	if err := ValidatePermutation([]int32{0, 3, 2}, 3); err == nil {
+		t.Fatal("accepted out-of-range")
+	}
+	if err := ValidatePermutation([]int32{0, 1}, 3); err == nil {
+		t.Fatal("accepted short permutation")
+	}
+}
+
+// Property: RCM always returns a bijection and never *increases* the profile
+// of a scrambled banded matrix.
+func TestQuickRCMBijectionAndProfile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		m, _ := scrambledBanded(rng, n, 1+rng.Intn(3))
+		perm, err := RCM(m)
+		if err != nil {
+			return false
+		}
+		if ValidatePermutation(perm, n) != nil {
+			return false
+		}
+		pm, err := Apply(m, perm)
+		if err != nil {
+			return false
+		}
+		return matrix.ComputeStats(pm).Profile <= matrix.ComputeStats(m).Profile
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

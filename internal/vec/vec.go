@@ -1,0 +1,85 @@
+// Package vec provides the parallel dense-vector kernels the CG solver
+// performs between SpM×V operations: dot products, axpy-style updates,
+// copies and norms, all chunked over a worker pool.
+package vec
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// Dot computes aᵀb in parallel (per-worker partial sums, combined serially —
+// deterministic for a fixed pool size).
+func Dot(pool *parallel.Pool, a, b []float64) float64 {
+	partial := make([]float64, pool.Size())
+	pool.RunChunked(len(a), func(tid, lo, hi int) {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += a[i] * b[i]
+		}
+		partial[tid] = sum
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// Axpy computes y += alpha·x.
+func Axpy(pool *parallel.Pool, alpha float64, x, y []float64) {
+	pool.RunChunked(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// Xpay computes y = x + alpha·y (the CG direction update p = r + β·p).
+func Xpay(pool *parallel.Pool, alpha float64, x, y []float64) {
+	pool.RunChunked(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = x[i] + alpha*y[i]
+		}
+	})
+}
+
+// Copy copies src into dst in parallel.
+func Copy(pool *parallel.Pool, dst, src []float64) {
+	pool.RunChunked(len(src), func(_, lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Scale computes x *= alpha.
+func Scale(pool *parallel.Pool, alpha float64, x []float64) {
+	pool.RunChunked(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= alpha
+		}
+	})
+}
+
+// Sub computes dst = a - b.
+func Sub(pool *parallel.Pool, dst, a, b []float64) {
+	pool.RunChunked(len(a), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] - b[i]
+		}
+	})
+}
+
+// Norm2 computes the Euclidean norm ‖x‖₂.
+func Norm2(pool *parallel.Pool, x []float64) float64 {
+	return math.Sqrt(Dot(pool, x, x))
+}
+
+// Fill sets every element to v.
+func Fill(pool *parallel.Pool, x []float64, v float64) {
+	pool.RunChunked(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = v
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+)
+
+func pools(t *testing.T, fn func(p *parallel.Pool)) {
+	t.Helper()
+	for _, n := range []int{1, 3, 8} {
+		p := parallel.NewPool(n)
+		fn(p)
+		p.Close()
+	}
+}
+
+func TestDot(t *testing.T) {
+	pools(t, func(p *parallel.Pool) {
+		a := []float64{1, 2, 3, 4}
+		b := []float64{4, 3, 2, 1}
+		if got := Dot(p, a, b); got != 20 {
+			t.Fatalf("Dot = %g, want 20", got)
+		}
+		if got := Dot(p, nil, nil); got != 0 {
+			t.Fatalf("Dot(empty) = %g, want 0", got)
+		}
+	})
+}
+
+func TestAxpyXpaySubScaleCopyFill(t *testing.T) {
+	pools(t, func(p *parallel.Pool) {
+		x := []float64{1, 2, 3}
+		y := []float64{10, 20, 30}
+		Axpy(p, 2, x, y)
+		want := []float64{12, 24, 36}
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("Axpy: y = %v, want %v", y, want)
+			}
+		}
+		Xpay(p, 0.5, x, y) // y = x + 0.5y
+		want = []float64{7, 14, 21}
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("Xpay: y = %v, want %v", y, want)
+			}
+		}
+		dst := make([]float64, 3)
+		Sub(p, dst, y, x)
+		want = []float64{6, 12, 18}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("Sub: %v, want %v", dst, want)
+			}
+		}
+		Scale(p, 1.0/6, dst)
+		want = []float64{1, 2, 3}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("Scale: %v, want %v", dst, want)
+			}
+		}
+		cp := make([]float64, 3)
+		Copy(p, cp, dst)
+		for i := range cp {
+			if cp[i] != dst[i] {
+				t.Fatalf("Copy: %v", cp)
+			}
+		}
+		Fill(p, cp, -1)
+		for i := range cp {
+			if cp[i] != -1 {
+				t.Fatalf("Fill: %v", cp)
+			}
+		}
+	})
+}
+
+func TestNorm2(t *testing.T) {
+	pools(t, func(p *parallel.Pool) {
+		v := []float64{3, 4}
+		if got := Norm2(p, v); math.Abs(got-5) > 1e-15 {
+			t.Fatalf("Norm2 = %g, want 5", got)
+		}
+	})
+}
+
+// Property: parallel Dot matches serial accumulation for any pool size.
+func TestQuickDotMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		serial := 0.0
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			serial += a[i] * b[i]
+		}
+		p := parallel.NewPool(1 + rng.Intn(8))
+		defer p.Close()
+		got := Dot(p, a, b)
+		return math.Abs(got-serial) <= 1e-9*(1+math.Abs(serial))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: Dot over the same pool size reduces partials in a fixed
+// order, so results are bitwise reproducible.
+func TestDotDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a := make([]float64, 10000)
+	b := make([]float64, 10000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	p := parallel.NewPool(7)
+	defer p.Close()
+	first := Dot(p, a, b)
+	for i := 0; i < 5; i++ {
+		if got := Dot(p, a, b); got != first {
+			t.Fatalf("Dot not deterministic: %g vs %g", got, first)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package symspmv
+
+import "fmt"
+
+// MulMat computes Y = A·X for several right-hand sides at once (SpMM).
+// Vectors are interleaved: x[i*vecs+v] is component v of row i, and Y uses
+// the same layout. Streaming the matrix once across all vectors raises the
+// kernel's flop:byte ratio by roughly the vector count — the natural
+// extension of the paper's bandwidth argument to block Krylov methods.
+//
+// Supported formats: CSR and the SSS family (naive, effective-ranges,
+// indexed). Other formats return an error; use MulVec per column there.
+func MulMat(k Kernel, x, y []float64, vecs int) error {
+	bk, ok := k.(*boundKernel)
+	if !ok {
+		return fmt.Errorf("symspmv: MulMat requires a Kernel from Matrix.Kernel")
+	}
+	if bk.closed {
+		return fmt.Errorf("symspmv: MulMat on closed Kernel")
+	}
+	if bk.mulMat == nil {
+		return fmt.Errorf("symspmv: MulMat is not supported by the %v format", bk.format)
+	}
+	if vecs < 1 || len(x) != bk.n*vecs || len(y) != bk.n*vecs {
+		return fmt.Errorf("symspmv: MulMat dims: N=%d vecs=%d, len(x)=%d, len(y)=%d",
+			bk.n, vecs, len(x), len(y))
+	}
+	bk.mulMat(x, y, vecs)
+	return nil
+}

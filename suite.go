@@ -1,0 +1,60 @@
+package symspmv
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// SuiteNames lists the 12 matrices of the paper's Table I evaluation suite,
+// in the paper's order (ascending nonzeros).
+func SuiteNames() []string {
+	names := make([]string, len(gen.PaperSuite))
+	for i, sp := range gen.PaperSuite {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// GenerateSuiteMatrix deterministically generates the synthetic analog of
+// the named Table I matrix at the given scale (1.0 = the paper's size; the
+// generators preserve nonzeros-per-row and structure class at any scale).
+// All suite matrices are symmetric positive definite.
+func GenerateSuiteMatrix(name string, scale float64) (*Matrix, error) {
+	sp, err := gen.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := gen.Generate(sp, scale)
+	if err != nil {
+		return nil, err
+	}
+	return fromCOO(c)
+}
+
+// GeneratePoisson2D builds the standard 5-point finite-difference
+// discretization of the Poisson equation on a side×side grid: the classic
+// SPD model problem for CG (4 on the diagonal, −1 towards each grid
+// neighbor).
+func GeneratePoisson2D(side int) (*Matrix, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("symspmv: Poisson grid side %d too small", side)
+	}
+	n := side * side
+	c := matrix.NewCOO(n, n, 3*n)
+	c.Symmetric = true
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			v := i*side + j
+			c.Add(v, v, 4)
+			if j > 0 {
+				c.Add(v, v-1, -1)
+			}
+			if i > 0 {
+				c.Add(v, v-side, -1)
+			}
+		}
+	}
+	return fromCOO(c)
+}

@@ -1,0 +1,392 @@
+// Package symspmv is a Go library for high-performance symmetric sparse
+// matrix-vector multiplication on multicore machines, reproducing
+// Gkountouvas et al., "Improving the Performance of the Symmetric Sparse
+// Matrix-Vector Multiplication in Multicore" (IPDPS 2013).
+//
+// The package offers:
+//
+//   - sparse matrix construction (builder, Matrix Market I/O, generators),
+//   - four storage formats behind one Kernel interface: CSR (baseline),
+//     CSX (compressed, unsymmetric), SSS (symmetric skyline) with three
+//     local-vector reduction methods — naive, effective ranges, and the
+//     paper's local-vectors *indexing* — and CSX-Sym (compressed symmetric),
+//   - a non-preconditioned Conjugate Gradient solver over any Kernel,
+//   - RCM bandwidth reordering,
+//   - the paper's measurement protocol and per-kernel traffic accounting.
+//
+// Quick start:
+//
+//	b := symspmv.NewBuilder(n)            // symmetric SPD system
+//	b.Set(i, j, v)                        // lower triangle
+//	A, err := b.Build()
+//	k, err := A.Kernel(symspmv.SSSIndexed, symspmv.Threads(4))
+//	defer k.Close()
+//	k.MulVec(x, y)                        // y = A·x, multithreaded
+//
+// See the examples/ directory for runnable programs.
+package symspmv
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bcsr"
+	"repro/internal/cg"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/csx"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/reorder"
+)
+
+// Format selects a storage format / kernel configuration.
+type Format int
+
+const (
+	// CSR is the unsymmetric Compressed Sparse Row baseline.
+	CSR Format = iota
+	// CSX is the unsymmetric Compressed Sparse eXtended format.
+	CSX
+	// BCSR is the register-blocked unsymmetric baseline (auto-tuned block
+	// shape; Im & Yelick / OSKI).
+	BCSR
+	// SSSNaive is the symmetric SSS kernel with naive full local vectors.
+	SSSNaive
+	// SSSEffective is SSS with the effective-ranges reduction.
+	SSSEffective
+	// SSSIndexed is SSS with the paper's local-vectors indexing (the
+	// recommended symmetric configuration).
+	SSSIndexed
+	// SSSAtomic is SSS with direct lock-free atomic updates instead of
+	// local vectors — an ablation comparator, not a recommended mode.
+	SSSAtomic
+	// CSXSym is the compressed symmetric format with indexed reduction
+	// (highest compression; pays a preprocessing cost).
+	CSXSym
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case CSR:
+		return "CSR"
+	case CSX:
+		return "CSX"
+	case BCSR:
+		return "BCSR"
+	case SSSNaive:
+		return "SSS-naive"
+	case SSSEffective:
+		return "SSS-effective"
+	case SSSIndexed:
+		return "SSS-indexed"
+	case SSSAtomic:
+		return "SSS-atomic"
+	case CSXSym:
+		return "CSX-Sym"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Matrix is an immutable symmetric sparse matrix (lower triangle stored).
+type Matrix struct {
+	coo *matrix.COO
+	sss *core.SSS
+}
+
+// N returns the matrix dimension.
+func (a *Matrix) N() int { return a.sss.N }
+
+// NNZ returns the logical nonzeros of the full symmetric operator.
+func (a *Matrix) NNZ() int { return a.sss.LogicalNNZ() }
+
+// Stats returns structural statistics (bandwidth, per-row counts, sizes).
+func (a *Matrix) Stats() matrix.Stats { return matrix.ComputeStats(a.coo) }
+
+// MulVec computes y = A·x serially with the reference kernel. For
+// multithreaded or compressed execution, build a Kernel.
+func (a *Matrix) MulVec(x, y []float64) { a.sss.MulVec(x, y) }
+
+// Builder accumulates entries of a symmetric matrix.
+type Builder struct {
+	coo *matrix.COO
+	err error
+}
+
+// NewBuilder returns a builder for an n×n symmetric matrix.
+func NewBuilder(n int) *Builder {
+	c := matrix.NewCOO(n, n, 0)
+	c.Symmetric = true
+	return &Builder{coo: c}
+}
+
+// Set records A[i,j] = A[j,i] = v. Duplicate coordinates are summed.
+func (b *Builder) Set(i, j int, v float64) {
+	if b.err != nil {
+		return
+	}
+	if i < 0 || j < 0 || i >= b.coo.Rows || j >= b.coo.Rows {
+		b.err = fmt.Errorf("symspmv: entry (%d,%d) outside %dx%d matrix", i, j, b.coo.Rows, b.coo.Rows)
+		return
+	}
+	if j > i {
+		i, j = j, i
+	}
+	b.coo.Add(i, j, v)
+}
+
+// Build finalizes the matrix.
+func (b *Builder) Build() (*Matrix, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return fromCOO(b.coo.Clone())
+}
+
+func fromCOO(c *matrix.COO) (*Matrix, error) {
+	c.Normalize()
+	s, err := core.FromCOO(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{coo: c, sss: s}, nil
+}
+
+// ReadMatrixMarket loads a symmetric matrix from a Matrix Market stream.
+// General (unsymmetric) files are accepted if numerically symmetric in
+// pattern terms: the lower triangle is taken.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	c, err := matrix.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Symmetric {
+		c, err = c.ToLowerSymmetric()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fromCOO(c)
+}
+
+// ReadMatrixMarketFile loads a .mtx file.
+func ReadMatrixMarketFile(path string) (*Matrix, error) {
+	c, err := matrix.ReadMatrixMarketFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Symmetric {
+		c, err = c.ToLowerSymmetric()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fromCOO(c)
+}
+
+// WriteMatrixMarket writes the matrix in symmetric coordinate format.
+func (a *Matrix) WriteMatrixMarket(w io.Writer) error {
+	return matrix.WriteMatrixMarket(w, a.coo)
+}
+
+// ReorderRCM returns P·A·Pᵀ under the Reverse Cuthill–McKee permutation,
+// along with the permutation itself (perm[old] = new). Reordering reduces
+// the matrix bandwidth, which shrinks the symmetric kernels' reduction
+// index and increases CSX substructure coverage (§V-D of the paper).
+func (a *Matrix) ReorderRCM() (*Matrix, []int32, error) {
+	perm, err := reorder.RCM(a.coo)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm, err := a.coo.Permute(perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := fromCOO(pm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, perm, nil
+}
+
+// Kernel is a multithreaded y = A·x engine bound to a worker pool. Kernels
+// must be released with Close.
+type Kernel interface {
+	// MulVec computes y = A·x. len(x) == len(y) == N. Not safe for
+	// concurrent invocation.
+	MulVec(x, y []float64)
+	// Format reports the kernel's storage format.
+	Format() Format
+	// Threads reports the worker count.
+	Threads() int
+	// Bytes reports the in-memory size of the encoded matrix.
+	Bytes() int64
+	// Close releases the worker pool.
+	Close()
+}
+
+// Option configures kernel construction.
+type Option func(*kernelOpts)
+
+type kernelOpts struct {
+	threads int
+	csxOpts csx.Options
+}
+
+// Threads sets the worker count (default: GOMAXPROCS).
+func Threads(n int) Option {
+	return func(o *kernelOpts) { o.threads = n }
+}
+
+// CSXOptions overrides the CSX/CSX-Sym detection parameters.
+func CSXOptions(opts csx.Options) Option {
+	return func(o *kernelOpts) { o.csxOpts = opts }
+}
+
+// Kernel builds a multithreaded kernel for the matrix in the given format.
+func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
+	o := kernelOpts{threads: parallel.DefaultThreads(), csxOpts: csx.DefaultOptions()}
+	for _, opt := range options {
+		opt(&o)
+	}
+	if o.threads < 1 {
+		return nil, errors.New("symspmv: thread count must be positive")
+	}
+	pool := parallel.NewPool(o.threads)
+	k := &boundKernel{format: f, pool: pool, n: a.sss.N}
+	switch f {
+	case CSR:
+		pk := csr.NewParallel(csr.FromCOO(a.coo), pool)
+		k.mul = pk.MulVec
+		k.mulMat = pk.MulMat
+		k.bytes = pk.A.Bytes()
+	case CSX:
+		mx := csx.NewMatrix(a.coo, o.threads, o.csxOpts)
+		k.mul = func(x, y []float64) { mx.MulVec(pool, x, y) }
+		k.bytes = mx.Bytes()
+	case BCSR:
+		br, bc, err := bcsr.AutoTune(a.coo, nil)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		bm, err := bcsr.FromCOO(a.coo, br, bc)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		pk := bcsr.NewParallel(bm, pool)
+		k.mul = pk.MulVec
+		k.bytes = bm.Bytes()
+	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic:
+		method := map[Format]core.ReductionMethod{
+			SSSNaive: core.Naive, SSSEffective: core.EffectiveRanges,
+			SSSIndexed: core.Indexed, SSSAtomic: core.Atomic,
+		}[f]
+		kk := core.NewKernel(a.sss, method, pool)
+		k.mul = kk.MulVec
+		if method != core.Atomic {
+			k.mulMat = kk.MulMat
+		}
+		k.bytes = a.sss.Bytes()
+	case CSXSym:
+		smx := csx.NewSym(a.sss, o.threads, core.Indexed, o.csxOpts)
+		k.mul = func(x, y []float64) { smx.MulVec(pool, x, y) }
+		k.bytes = smx.Bytes()
+		k.sym = smx
+	default:
+		pool.Close()
+		return nil, fmt.Errorf("symspmv: unknown format %v", f)
+	}
+	return k, nil
+}
+
+type boundKernel struct {
+	format Format
+	pool   *parallel.Pool
+	mul    func(x, y []float64)
+	bytes  int64
+	n      int
+	closed bool
+	sym    *csx.SymMatrix                 // set for CSXSym kernels (enables SaveKernel)
+	mulMat func(x, y []float64, vecs int) // nil when the format has no SpMM kernel
+}
+
+func (k *boundKernel) MulVec(x, y []float64) {
+	if k.closed {
+		panic("symspmv: MulVec on closed Kernel")
+	}
+	k.mul(x, y)
+}
+func (k *boundKernel) Format() Format { return k.format }
+func (k *boundKernel) Threads() int   { return k.pool.Size() }
+func (k *boundKernel) Bytes() int64   { return k.bytes }
+func (k *boundKernel) Close() {
+	if !k.closed {
+		k.closed = true
+		k.pool.Close()
+	}
+}
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult = cg.Result
+
+// CGOptions configures SolveCG.
+type CGOptions struct {
+	// MaxIter caps iterations (default 10·N).
+	MaxIter int
+	// Tol is the relative residual target (default 1e-10).
+	Tol float64
+}
+
+// SolveCG solves A·x = b with the non-preconditioned Conjugate Gradient
+// method using kernel k for the SpM×V and k's pool for the vector
+// operations. x is the starting guess, updated in place.
+func SolveCG(k Kernel, b, x []float64, opts CGOptions) (CGResult, error) {
+	bk, err := checkKernel(k, b, x, "SolveCG")
+	if err != nil {
+		return CGResult{}, err
+	}
+	res := cg.Solve(cg.MulVecFunc(bk.mul), bk.pool, b, x, cg.Options{
+		MaxIter: opts.MaxIter,
+		Tol:     opts.Tol,
+	})
+	return res, nil
+}
+
+// SolveCGJacobi solves A·x = b with Jacobi-(diagonal-)preconditioned CG.
+// The preconditioner is built from A's diagonal; the paper treats
+// preconditioning as orthogonal to the SpM×V optimization, and Jacobi adds
+// only one vector operation per iteration. A must be the matrix the kernel
+// was built from.
+func SolveCGJacobi(a *Matrix, k Kernel, b, x []float64, opts CGOptions) (CGResult, error) {
+	bk, err := checkKernel(k, b, x, "SolveCGJacobi")
+	if err != nil {
+		return CGResult{}, err
+	}
+	if a.sss.N != bk.n {
+		return CGResult{}, fmt.Errorf("symspmv: SolveCGJacobi: matrix N=%d, kernel N=%d", a.sss.N, bk.n)
+	}
+	res := cg.SolvePCG(cg.MulVecFunc(bk.mul), cg.NewJacobi(a.sss.DValues), bk.pool, b, x, cg.Options{
+		MaxIter: opts.MaxIter,
+		Tol:     opts.Tol,
+	})
+	return res, nil
+}
+
+func checkKernel(k Kernel, b, x []float64, op string) (*boundKernel, error) {
+	bk, ok := k.(*boundKernel)
+	if !ok {
+		return nil, fmt.Errorf("symspmv: %s requires a Kernel from Matrix.Kernel", op)
+	}
+	if bk.closed {
+		return nil, fmt.Errorf("symspmv: %s on closed Kernel", op)
+	}
+	if len(b) != bk.n || len(x) != bk.n {
+		return nil, fmt.Errorf("symspmv: %s dims: N=%d, len(b)=%d, len(x)=%d", op, bk.n, len(b), len(x))
+	}
+	return bk, nil
+}
