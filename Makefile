@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick benchmark smoke: the execution-engine microbenchmarks (pool dispatch,
+# spin vs channel phases) plus the host SpM×V dispatch comparison.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkPoolRun|BenchmarkRunPhases|BenchmarkSpinBarrier' -benchtime 200x ./internal/parallel
+	$(GO) test -run xxx -bench 'BenchmarkSpMVDispatch|BenchmarkCGFusion' -benchtime 50x .
+
+# ci is the gate for every change: vet, build, and the full test suite under
+# the race detector (the execution engine's spin barrier and phase fusion are
+# exactly the kind of code -race exists for).
+ci: vet build race

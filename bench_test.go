@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -305,12 +306,87 @@ func BenchmarkFig14_CG(b *testing.B) {
 			pool := parallel.NewPool(parallel.DefaultThreads())
 			defer pool.Close()
 			built := harness.Build(sm, f, pool)
+			op := built.Op()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				x := make([]float64, n)
-				benchCG(built.Mul, pool, rhs, x)
+				benchCG(op, pool, rhs, x)
 			}
 		})
+	}
+}
+
+// BenchmarkCGFusion isolates the phase-fusion win in the real solver: the
+// same SSS-indexed kernel driven through the fused two-handoff iteration
+// (MulVecDot + CGStep) versus the unfused path (MulVec, Dot, and the
+// axpy/dot/xpay chain as separate dispatches). The iterates are bitwise
+// identical; only the synchronization differs.
+func BenchmarkCGFusion(b *testing.B) {
+	suite, _ := benchSuite(b)
+	sm := suite[0]
+	n := sm.S.N
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	pool := parallel.NewPool(parallel.DefaultThreads())
+	defer pool.Close()
+	k := core.NewKernel(sm.S, core.Indexed, pool)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, n)
+			benchCG(k, pool, rhs, x)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, n)
+			benchCG(cg.MulVecFunc(k.MulVec), pool, rhs, x)
+		}
+	})
+}
+
+// BenchmarkSpMVDispatch times the symmetric SpM×V per reduction method under
+// both phase-dispatch strategies — the resident spin-barrier path versus the
+// per-phase channel fallback — on a small matrix where synchronization cost
+// is a visible fraction of the kernel. GOMAXPROCS is raised so the spin path
+// is exercised even on small hosts.
+func BenchmarkSpMVDispatch(b *testing.B) {
+	suite, _ := benchSuite(b)
+	sm := suite[0]
+	n := sm.S.N
+	const p = 4
+	prev := runtime.GOMAXPROCS(0)
+	if prev < p {
+		runtime.GOMAXPROCS(p)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	for _, method := range []core.ReductionMethod{core.Naive, core.EffectiveRanges, core.Indexed} {
+		for _, mode := range []parallel.PhaseMode{parallel.PhaseSpin, parallel.PhaseChannel} {
+			name := "channel"
+			if mode == parallel.PhaseSpin {
+				name = "spin"
+			}
+			b.Run(fmt.Sprintf("%s/%s", method, name), func(b *testing.B) {
+				pool := parallel.NewPool(p)
+				defer pool.Close()
+				pool.SetPhaseMode(mode)
+				k := core.NewKernel(sm.S, method, pool)
+				x := make([]float64, n)
+				y := make([]float64, n)
+				for i := range x {
+					x[i] = 1.0 / float64(i+1)
+				}
+				flops := float64(2 * sm.S.LogicalNNZ())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.MulVec(x, y)
+				}
+				b.StopTimer()
+				gflops := flops * float64(b.N) / b.Elapsed().Seconds() / 1e9
+				b.ReportMetric(gflops, "Gflop/s")
+			})
+		}
 	}
 }
 
@@ -374,7 +450,8 @@ func BenchmarkSpMM(b *testing.B) {
 func ln(v float64) float64  { return math.Log(v) }
 func exp(v float64) float64 { return math.Exp(v) }
 
-// benchCG runs a short fixed-iteration CG solve with the given kernel.
-func benchCG(mul func(x, y []float64), pool *parallel.Pool, rhs, x []float64) {
-	cg.Solve(cg.MulVecFunc(mul), pool, rhs, x, cg.Options{MaxIter: 16, FixedIterations: true})
+// benchCG runs a short fixed-iteration CG solve with the given operator
+// (fused when it implements cg.MulVecDotter).
+func benchCG(op cg.MulVecer, pool *parallel.Pool, rhs, x []float64) {
+	cg.Solve(op, pool, rhs, x, cg.Options{MaxIter: 16, FixedIterations: true})
 }

@@ -19,6 +19,20 @@ type MulVecer interface {
 	MulVec(x, y []float64)
 }
 
+// MulVecDotter is the fused fast path: a kernel that computes y = A·x and
+// returns xᵀ·y in one parallel dispatch (the dot rides inside the kernel's
+// reduction phase). When the operator passed to Solve also implements this
+// interface, each CG iteration needs only two coordinator handoffs — the
+// fused SpM×V+dot and the fused vector-update chain — instead of six
+// barrier-terminated operations. The fused dot must be bitwise identical to
+// vec.Dot(x, y) over the finished output (per-thread partials over
+// parallel.Chunk ranges, combined in thread order), which keeps Solve's
+// trajectory independent of whether the fast path is taken.
+type MulVecDotter interface {
+	MulVecer
+	MulVecDot(x, y []float64) float64
+}
+
 // MulVecFunc adapts a function to MulVecer.
 type MulVecFunc func(x, y []float64)
 
@@ -58,6 +72,14 @@ func (r Result) String() string {
 // Solve runs CG on A·x = b starting from x (updated in place), using pool
 // for the vector operations. A is any SpM×V kernel; it must represent a
 // symmetric positive definite operator for CG to converge.
+//
+// The per-iteration chain is phase-fused: the pᵀ·Ap dot rides inside the
+// kernel when A implements MulVecDotter (counted under SpMVTime, since it
+// shares the kernel's dispatch), and the axpy/dot/xpay tail runs as one
+// vec.CGStep. A fused iteration costs two coordinator handoffs; without the
+// kernel fast path it costs three (SpM×V, dot, CGStep). The arithmetic is
+// ordered identically on every path, so the iterates are bitwise
+// reproducible across all of them.
 func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result {
 	n := len(b)
 	if len(x) != n {
@@ -69,6 +91,7 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 	if opts.Tol == 0 {
 		opts.Tol = 1e-10
 	}
+	fused, _ := a.(MulVecDotter)
 
 	r := make([]float64, n)
 	p := make([]float64, n)
@@ -78,18 +101,16 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 	start := time.Now()
 	mark := func(d *time.Duration, t0 time.Time) { *d += time.Since(t0) }
 
-	// r₀ = b − A·x₀ ; p₀ = r₀
+	// r₀ = b − A·x₀ ; p₀ = r₀ ; ‖b‖² and r₀ᵀr₀ in the same sweep.
 	t0 := time.Now()
 	a.MulVec(x, ap)
 	mark(&res.SpMVTime, t0)
 	t0 = time.Now()
-	vec.Sub(pool, r, b, ap)
-	vec.Copy(pool, p, r)
-	normB := vec.Norm2(pool, b)
+	bb, rr := vec.SubCopyDots(pool, r, p, b, ap)
+	normB := math.Sqrt(bb)
 	if normB == 0 {
 		normB = 1
 	}
-	rr := vec.Dot(pool, r, r)
 	mark(&res.VectorTime, t0)
 
 	tol2 := (opts.Tol * normB) * (opts.Tol * normB)
@@ -98,24 +119,27 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 			res.Converged = true
 			break
 		}
-		t0 = time.Now()
-		a.MulVec(p, ap)
-		mark(&res.SpMVTime, t0)
-
-		t0 = time.Now()
-		pap := vec.Dot(pool, p, ap)
+		var pap float64
+		if fused != nil {
+			t0 = time.Now()
+			pap = fused.MulVecDot(p, ap)
+			mark(&res.SpMVTime, t0)
+			t0 = time.Now()
+		} else {
+			t0 = time.Now()
+			a.MulVec(p, ap)
+			mark(&res.SpMVTime, t0)
+			t0 = time.Now()
+			pap = vec.Dot(pool, p, ap)
+		}
 		if pap <= 0 && !opts.FixedIterations {
 			// Breakdown: A is not SPD along p (or roundoff); stop cleanly.
 			mark(&res.VectorTime, t0)
 			break
 		}
 		alpha := rr / pap
-		vec.Axpy(pool, alpha, p, x)   // x += α·p
-		vec.Axpy(pool, -alpha, ap, r) // r −= α·A·p
-		rrNew := vec.Dot(pool, r, r)
-		beta := rrNew / rr
-		rr = rrNew
-		vec.Xpay(pool, beta, r, p) // p = r + β·p
+		// x += α·p ; r −= α·A·p ; rr' = rᵀr ; p = r + (rr'/rr)·p — one handoff.
+		rr = vec.CGStep(pool, alpha, rr, p, ap, x, r)
 		mark(&res.VectorTime, t0)
 		res.Iterations++
 	}

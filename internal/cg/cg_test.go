@@ -3,6 +3,7 @@ package cg
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -170,5 +171,93 @@ func TestPhaseTimesAccounted(t *testing.T) {
 	}
 	if res.SpMVTime+res.VectorTime > res.TotalTime*2 {
 		t.Fatalf("phase times exceed total: %+v", res)
+	}
+}
+
+// The fused path (kernel implements MulVecDotter) must reproduce the unfused
+// path bitwise: MulVecDot's partial-sum order equals vec.Dot's, and CGStep's
+// arithmetic equals the unfused axpy/dot/xpay chain.
+func TestSolveFusedMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	const n = 500
+	m := spdMatrix(rng, n, 4)
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	xstar := make([]float64, n)
+	for i := range xstar {
+		xstar[i] = rng.NormFloat64()
+	}
+	m.MulVec(xstar, b)
+
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	k := core.NewKernel(s, core.Indexed, pool)
+
+	xFused := make([]float64, n)
+	resFused := Solve(k, pool, b, xFused, Options{MaxIter: 50, FixedIterations: true})
+
+	xPlain := make([]float64, n)
+	// MulVecFunc hides MulVecDot, forcing the unfused path over the same kernel.
+	resPlain := Solve(MulVecFunc(k.MulVec), pool, b, xPlain, Options{MaxIter: 50, FixedIterations: true})
+
+	for i := range xFused {
+		if xFused[i] != xPlain[i] {
+			t.Fatalf("x[%d] differs: fused %g, unfused %g", i, xFused[i], xPlain[i])
+		}
+	}
+	if resFused.Residual != resPlain.Residual {
+		t.Fatalf("residual differs: fused %g, unfused %g", resFused.Residual, resPlain.Residual)
+	}
+	if resFused.Iterations != resPlain.Iterations {
+		t.Fatalf("iterations differ: fused %d, unfused %d", resFused.Iterations, resPlain.Iterations)
+	}
+}
+
+// A fused CG iteration must execute with at most two global coordinator
+// handoffs: one for the fused SpM×V+dot, one for the fused vector-update
+// chain. Asserted through the pool's instrumented dispatch counter, with
+// GOMAXPROCS raised so the resident spin-barrier path is active.
+func TestSolveFusedIterationHandoffs(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	rng := rand.New(rand.NewSource(66))
+	const n = 400
+	m := spdMatrix(rng, n, 4)
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	for _, method := range []core.ReductionMethod{core.Naive, core.EffectiveRanges, core.Indexed, core.Atomic} {
+		k := core.NewKernel(s, method, pool)
+		x := make([]float64, n)
+		const iters = 25
+		// Warm-up solve allocates MulVecDot's partial buffer outside the count.
+		Solve(k, pool, b, x, Options{MaxIter: 1, FixedIterations: true})
+
+		for i := range x {
+			x[i] = 0
+		}
+		pool.ResetHandoffs()
+		Solve(k, pool, b, x, Options{MaxIter: iters, FixedIterations: true})
+		total := pool.Handoffs()
+		// Setup costs two handoffs (initial SpM×V + SubCopyDots); every
+		// iteration may cost at most two.
+		const setup = 2
+		if total > setup+2*iters {
+			t.Errorf("method=%v: %d handoffs for %d iterations, want ≤ %d",
+				method, total, iters, setup+2*iters)
+		}
 	}
 }

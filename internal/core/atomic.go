@@ -20,41 +20,52 @@ import (
 // sync/atomic applies without unsafe pointer casts; a final parallel pass
 // converts it into the output vector.
 
-// multiplyAtomic runs the multiplication phase with direct atomic updates.
-// Own-range writes are plain (rows are exclusive); cross-boundary writes use
-// CAS add. k.acc must be len N; every slot is overwritten (own rows are
-// assigned, so no zeroing pass is needed between iterations).
-func (k *Kernel) multiplyAtomic(x []float64) {
+// multiplyAtomicT runs thread tid's slice of the multiplication phase with
+// direct atomic updates. Own-range writes are plain (rows are exclusive);
+// cross-boundary writes use CAS add. k.acc must be len N; every slot is
+// overwritten (own rows are assigned, so no zeroing pass is needed between
+// iterations).
+func (k *Kernel) multiplyAtomicT(tid int, x []float64) {
 	s := k.S
-	k.pool.Run(func(tid int) {
-		acc := k.acc
-		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
-			xr := x[r]
-			rowAcc := s.DValues[r] * xr
-			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
-				c := s.ColIdx[j]
-				v := s.Val[j]
-				rowAcc += v * x[c]
-				// Every transposed write must be atomic: even columns inside
-				// this thread's own range receive CAS contributions from
-				// later threads whose boundary lies above them.
-				atomicAddFloat(&acc[c], v*xr)
-			}
-			atomicAddFloat(&acc[r], rowAcc)
+	acc := k.acc
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		xr := x[r]
+		rowAcc := s.DValues[r] * xr
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := s.ColIdx[j]
+			v := s.Val[j]
+			rowAcc += v * x[c]
+			// Every transposed write must be atomic: even columns inside
+			// this thread's own range receive CAS contributions from
+			// later threads whose boundary lies above them.
+			atomicAddFloat(&acc[c], v*xr)
 		}
-	})
+		atomicAddFloat(&acc[r], rowAcc)
+	}
 }
 
-// finalizeAtomic converts the accumulator into y and re-arms it with zeros
-// for the next iteration, in parallel chunks.
-func (k *Kernel) finalizeAtomic(y []float64) {
-	k.pool.Run(func(tid int) {
-		lo, hi := k.redPartAtomic.Start[tid], k.redPartAtomic.End[tid]
-		for r := lo; r < hi; r++ {
-			y[r] = math.Float64frombits(k.acc[r])
-			k.acc[r] = 0
-		}
-	})
+// finalizeAtomicT converts thread tid's uniform chunk of the accumulator
+// into y and re-arms it with zeros for the next iteration.
+func (k *Kernel) finalizeAtomicT(tid int, y []float64) {
+	lo, hi := k.redPartAtomic.Start[tid], k.redPartAtomic.End[tid]
+	for r := lo; r < hi; r++ {
+		y[r] = math.Float64frombits(k.acc[r])
+		k.acc[r] = 0
+	}
+}
+
+// finalizeAtomicDotT is finalizeAtomicT fused with the xᵀy partial over the
+// same chunk (the MulVecDot fast path).
+func (k *Kernel) finalizeAtomicDotT(tid int, x, y []float64) float64 {
+	lo, hi := k.redPartAtomic.Start[tid], k.redPartAtomic.End[tid]
+	dot := 0.0
+	for r := lo; r < hi; r++ {
+		yr := math.Float64frombits(k.acc[r])
+		k.acc[r] = 0
+		y[r] = yr
+		dot += x[r] * yr
+	}
+	return dot
 }
 
 // atomicAddFloat adds v to the float64 stored as bits behind p, lock-free.

@@ -72,6 +72,10 @@ type Kernel struct {
 	acc           []uint64
 	redPartAtomic *partition.RowPartition
 
+	// dot holds the per-thread partial sums of MulVecDot, one cache line
+	// apart, allocated on first use.
+	dot []float64
+
 	// wide holds the nv-wide local vectors of MulMat, sized lazily.
 	wide *wideLocals
 }
@@ -104,77 +108,115 @@ func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 }
 
 // MulVec computes y = A·x: the parallel multiplication phase followed by the
-// reduction phase selected by Method. Local vectors are re-zeroed during the
-// reduction, so repeated calls reuse all buffers without extra clearing.
+// reduction phase selected by Method, chained through Pool.RunPhases so the
+// whole operation costs one coordinator handoff. Local vectors are re-zeroed
+// during the reduction, so repeated calls reuse all buffers without extra
+// clearing.
 func (k *Kernel) MulVec(x, y []float64) {
+	k.checkDims(x, y)
+	k.pool.RunPhases(k.phases(x, y, nil)...)
+}
+
+// MulVecDot computes y = A·x and returns xᵀ·y, the pᵀ·(A·p) inner product a
+// CG iteration needs right after its SpM×V. The dot rides inside the
+// reduction phase as per-thread partial sums combined after the barrier, so
+// the pair costs the same single coordinator handoff as MulVec alone. The
+// partials are combined in ascending thread order over parallel.Chunk
+// ranges, making the result bitwise identical to vec.Dot(x, y) on the
+// finished output.
+func (k *Kernel) MulVecDot(x, y []float64) float64 {
+	k.checkDims(x, y)
+	if k.dot == nil {
+		k.dot = make([]float64, k.p*DotStride)
+	}
+	k.pool.RunPhases(k.phases(x, y, k.dot)...)
+	total := 0.0
+	for t := 0; t < k.p; t++ {
+		total += k.dot[t*DotStride]
+	}
+	return total
+}
+
+func (k *Kernel) checkDims(x, y []float64) {
 	if len(x) != k.S.N || len(y) != k.S.N {
 		panic(fmt.Sprintf("core: MulVec dims: A is %dx%d, len(x)=%d, len(y)=%d",
 			k.S.N, k.S.N, len(x), len(y)))
 	}
+}
+
+// phases assembles the multiply→reduce chain for one multiplication as a
+// phase list. With dot non-nil the reduction additionally leaves xᵀy partial
+// sums in dot[tid*DotStride].
+func (k *Kernel) phases(x, y, dot []float64) []func(tid int) {
+	var mult func(tid int)
 	switch k.Method {
 	case Naive:
-		k.multiplyNaive(x)
+		mult = func(tid int) { k.multiplyNaiveT(tid, x) }
 	case EffectiveRanges, Indexed:
-		k.multiplyEffective(x, y)
+		mult = func(tid int) { k.multiplyEffectiveT(tid, x, y) }
 	case Atomic:
-		k.multiplyAtomic(x)
-		k.finalizeAtomic(y)
-		return
+		mult = func(tid int) { k.multiplyAtomicT(tid, x) }
+		fin := func(tid int) { k.finalizeAtomicT(tid, y) }
+		if dot != nil {
+			fin = func(tid int) { dot[tid*DotStride] = k.finalizeAtomicDotT(tid, x, y) }
+		}
+		return []func(int){mult, fin}
 	default:
 		panic("core: unknown reduction method " + k.Method.String())
 	}
-	k.LV.Reduce(k.pool, y)
+	if dot != nil {
+		return append([]func(int){mult}, k.LV.ReduceDotPhases(x, y, dot)...)
+	}
+	return append([]func(int){mult}, k.LV.ReducePhases(y)...)
 }
 
-// multiplyNaive runs Alg. 3's multiplication phase: every write, including
-// the thread's own rows, goes to the thread's full-length local vector.
-func (k *Kernel) multiplyNaive(x []float64) {
+// multiplyNaiveT runs thread tid's slice of Alg. 3's multiplication phase:
+// every write, including the thread's own rows, goes to the thread's
+// full-length local vector.
+func (k *Kernel) multiplyNaiveT(tid int, x []float64) {
 	s := k.S
-	k.pool.Run(func(tid int) {
-		local := k.LV.Vecs[tid]
-		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
-			xr := x[r]
-			acc := s.DValues[r] * xr
-			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
-				c := s.ColIdx[j]
-				v := s.Val[j]
-				acc += v * x[c]
+	local := k.LV.Vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		xr := x[r]
+		acc := s.DValues[r] * xr
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := s.ColIdx[j]
+			v := s.Val[j]
+			acc += v * x[c]
+			local[c] += v * xr
+		}
+		local[r] += acc
+	}
+}
+
+// multiplyEffectiveT runs thread tid's slice of the multiplication phase
+// shared by the effective-ranges and indexed methods: rows within the
+// thread's own partition write directly to y, and only transposed
+// contributions that fall before the partition start are buffered in the
+// local vector.
+func (k *Kernel) multiplyEffectiveT(tid int, x, y []float64) {
+	s := k.S
+	local := k.LV.Vecs[tid]
+	startT := k.Part.Start[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		xr := x[r]
+		acc := s.DValues[r] * xr
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := s.ColIdx[j]
+			v := s.Val[j]
+			acc += v * x[c]
+			if c >= startT {
+				y[c] += v * xr
+			} else {
 				local[c] += v * xr
 			}
-			local[r] += acc
 		}
-	})
-}
-
-// multiplyEffective runs the multiplication phase shared by the
-// effective-ranges and indexed methods: rows within the thread's own
-// partition write directly to y, and only transposed contributions that fall
-// before the partition start are buffered in the local vector.
-func (k *Kernel) multiplyEffective(x, y []float64) {
-	s := k.S
-	k.pool.Run(func(tid int) {
-		local := k.LV.Vecs[tid]
-		startT := k.Part.Start[tid]
-		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
-			xr := x[r]
-			acc := s.DValues[r] * xr
-			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
-				c := s.ColIdx[j]
-				v := s.Val[j]
-				acc += v * x[c]
-				if c >= startT {
-					y[c] += v * xr
-				} else {
-					local[c] += v * xr
-				}
-			}
-			// Rows are processed in ascending order and transposed writes
-			// target strictly earlier rows (c < r), so y[r] has received no
-			// contribution yet: plain assignment, no pre-zeroing of y needed.
-			// Cross-thread contributions go through locals.
-			y[r] = acc
-		}
-	})
+		// Rows are processed in ascending order and transposed writes
+		// target strictly earlier rows (c < r), so y[r] has received no
+		// contribution yet: plain assignment, no pre-zeroing of y needed.
+		// Cross-thread contributions go through locals.
+		y[r] = acc
+	}
 }
 
 // IndexLen reports the number of conflict-index entries; zero for

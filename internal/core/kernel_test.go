@@ -99,6 +99,143 @@ func TestParallelKernelsMatchReference(t *testing.T) {
 	}
 }
 
+// MulVecDot must produce the same output vector as MulVec (bitwise: the
+// phases perform identical float operations) and a dot equal to xᵀ·(A·x).
+func TestMulVecDotMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 64, 257, 1000} {
+		m := randomSymmetric(t, rng, n, 5)
+		s, err := FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, p := range []int{1, 2, 4, 7} {
+			pool := parallel.NewPool(p)
+			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic} {
+				k := NewKernel(s, method, pool)
+				y1 := make([]float64, n)
+				y2 := make([]float64, n)
+				k.MulVec(x, y1)
+				dot := k.MulVecDot(x, y2)
+				if method == Atomic {
+					// CAS accumulation order is scheduling-dependent, so the
+					// Atomic ablation is only reproducible to roundoff.
+					if d := maxRelDiff(y1, y2); d > 1e-12 {
+						t.Fatalf("n=%d p=%d method=%v: MulVecDot differs from MulVec by %g",
+							n, p, method, d)
+					}
+				} else {
+					for i := range y1 {
+						if y1[i] != y2[i] {
+							t.Fatalf("n=%d p=%d method=%v: y[%d] differs: MulVec %g, MulVecDot %g",
+								n, p, method, i, y1[i], y2[i])
+						}
+					}
+				}
+				want := 0.0
+				for i := range y1 {
+					want += x[i] * y1[i]
+				}
+				if d := math.Abs(dot - want); d > 1e-9*(1+math.Abs(want)) {
+					t.Errorf("n=%d p=%d method=%v: dot=%g, want %g", n, p, method, dot, want)
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// The multiply→reduce chain must produce bitwise-identical results whether
+// the phases run resident behind the spin barrier or as separate channel
+// dispatches: fusion changes synchronization only, never the float ops.
+func TestPhasesBitwiseIdenticalAcrossDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomSymmetric(t, rng, 600, 5)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 600)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed} {
+		results := make([][]float64, 0, 2)
+		dots := make([]float64, 0, 2)
+		for _, mode := range []parallel.PhaseMode{parallel.PhaseSpin, parallel.PhaseChannel} {
+			pool := parallel.NewPool(4)
+			pool.SetPhaseMode(mode)
+			k := NewKernel(s, method, pool)
+			y := make([]float64, 600)
+			k.MulVec(x, y)
+			y2 := make([]float64, 600)
+			d := k.MulVecDot(x, y2)
+			pool.Close()
+			results = append(results, y)
+			dots = append(dots, d)
+		}
+		for i := range results[0] {
+			if results[0][i] != results[1][i] {
+				t.Fatalf("method=%v: y[%d] differs across dispatch modes: spin %g, channel %g",
+					method, i, results[0][i], results[1][i])
+			}
+		}
+		if dots[0] != dots[1] {
+			t.Fatalf("method=%v: dot differs across dispatch modes: spin %g, channel %g",
+				method, dots[0], dots[1])
+		}
+	}
+}
+
+// The reduction-ordered conflict index must hold the same entry set as the
+// canonical (Idx, Vid)-sorted index, with each worker slice grouped into
+// per-Vid runs of ascending Idx.
+func TestIndexedReductionOrderGroupsByVid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomSymmetric(t, rng, 700, 6)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(6)
+	defer pool.Close()
+	k := NewKernel(s, Indexed, pool)
+	lv := k.LV
+	if len(lv.redEntries) != len(lv.index) {
+		t.Fatalf("redEntries has %d entries, index has %d", len(lv.redEntries), len(lv.index))
+	}
+	count := func(entries []IndexEntry) map[IndexEntry]int {
+		c := make(map[IndexEntry]int, len(entries))
+		for _, e := range entries {
+			c[e]++
+		}
+		return c
+	}
+	for w := 0; w+1 < len(lv.redSplit); w++ {
+		lo, hi := lv.redSplit[w], lv.redSplit[w+1]
+		a, b := lv.index[lo:hi], lv.redEntries[lo:hi]
+		ca, cb := count(a), count(b)
+		if len(ca) != len(cb) {
+			t.Fatalf("worker %d: entry sets differ", w)
+		}
+		for e, n := range ca {
+			if cb[e] != n {
+				t.Fatalf("worker %d: entry %v count %d vs %d", w, e, cb[e], n)
+			}
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i].Vid < b[i-1].Vid || (b[i].Vid == b[i-1].Vid && b[i].Idx <= b[i-1].Idx) {
+				t.Fatalf("worker %d: redEntries not grouped by (Vid, Idx) at %d: %v, %v",
+					w, i, b[i-1], b[i])
+			}
+		}
+	}
+}
+
 func TestIndexedSplitDoesNotShareIdx(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	m := randomSymmetric(t, rng, 500, 6)

@@ -7,6 +7,10 @@ import (
 	"repro/internal/partition"
 )
 
+// DotStride spaces per-thread dot partials eight float64s (one cache line)
+// apart so concurrent writers never share a line.
+const DotStride = 8
+
 // LocalVectors owns the per-thread local output vectors of a multithreaded
 // symmetric SpM×V and performs the reduction phase under any of the three
 // methods. It is shared by the SSS kernel (this package) and the CSX-Sym
@@ -18,6 +22,11 @@ import (
 // length Part.Start[t] (the effective range) for the other methods (thread 0
 // then has an empty local vector). The reduction re-zeroes every element it
 // consumes, so the multiply phase may assume all-zero locals on entry.
+//
+// The reduction is exposed in two forms: Reduce dispatches it on a pool
+// directly, and ReducePhases/ReduceDotPhases return it as a phase list so a
+// kernel can chain multiply→reduce through Pool.RunPhases without an
+// intermediate coordinator handoff.
 type LocalVectors struct {
 	N      int
 	Method ReductionMethod
@@ -27,8 +36,17 @@ type LocalVectors struct {
 	p       int
 	redPart *partition.RowPartition // uniform row split for naive/effective
 
-	index    []IndexEntry // Indexed only: sorted by (Idx, Vid)
-	redSplit []int32      // Indexed only: per-worker boundaries into index
+	// Indexed only. index is the canonical conflict index, sorted by
+	// (Idx, Vid); redSplit are per-worker boundaries into it, aligned so no
+	// Idx value is shared between workers. redEntries is the same entry set
+	// in reduction order: within each worker's slice, regrouped by
+	// (Vid, Idx) so the reduction streams each local vector sequentially
+	// instead of hopping between Vecs[Vid] per entry. Per output element the
+	// contributions still arrive in ascending Vid order, so the float sums
+	// are bitwise identical to a walk of the (Idx, Vid)-sorted index.
+	index      []IndexEntry
+	redSplit   []int32
+	redEntries []IndexEntry
 }
 
 // NewLocalVectors allocates local vectors for partition part under method.
@@ -71,72 +89,178 @@ func NewLocalVectors(n int, part *partition.RowPartition, method ReductionMethod
 			return lv.index[a].Vid < lv.index[b].Vid
 		})
 		lv.redSplit = splitIndex(lv.index, p)
+		lv.redEntries = groupByVid(lv.index, lv.redSplit)
 	}
 	return lv
+}
+
+// groupByVid reorders each worker slice of the (Idx, Vid)-sorted index into
+// (Vid, Idx) order, producing per-worker per-Vid runs: the reduction then
+// reads every Vecs[Vid] as an ascending sequential stream.
+func groupByVid(index []IndexEntry, split []int32) []IndexEntry {
+	out := make([]IndexEntry, len(index))
+	copy(out, index)
+	for w := 0; w+1 < len(split); w++ {
+		s := out[split[w]:split[w+1]]
+		sort.Slice(s, func(a, b int) bool {
+			if s[a].Vid != s[b].Vid {
+				return s[a].Vid < s[b].Vid
+			}
+			return s[a].Idx < s[b].Idx
+		})
+	}
+	return out
 }
 
 // Reduce folds the local vectors into y on pool and re-zeroes consumed
 // elements. For Naive, y is fully overwritten; for the other methods the
 // direct contributions already present in y are kept and augmented.
 func (lv *LocalVectors) Reduce(pool *parallel.Pool, y []float64) {
+	pool.RunPhases(lv.ReducePhases(y)...)
+}
+
+// ReducePhases returns the reduction as a phase list for Pool.RunPhases.
+func (lv *LocalVectors) ReducePhases(y []float64) []func(tid int) {
 	switch lv.Method {
 	case Naive:
-		lv.reduceNaive(pool, y)
+		return []func(int){func(tid int) { lv.reduceNaiveT(tid, y) }}
 	case EffectiveRanges:
-		lv.reduceEffective(pool, y)
+		return []func(int){func(tid int) { lv.reduceEffectiveT(tid, y) }}
 	case Indexed:
-		lv.reduceIndexed(pool, y)
+		return []func(int){func(tid int) { lv.reduceIndexedT(tid, y) }}
+	}
+	return nil
+}
+
+// ReduceDotPhases returns the reduction fused with the dot product xᵀy:
+// after the phases have run, partial[tid*DotStride] holds thread tid's dot
+// contribution over its reduction range. The caller combines the partials in
+// ascending tid order; the per-thread ranges equal parallel.Chunk(N, p), so
+// the combined sum is bitwise identical to vec.Dot over the finished y.
+func (lv *LocalVectors) ReduceDotPhases(x, y, partial []float64) []func(tid int) {
+	switch lv.Method {
+	case Naive:
+		return []func(int){func(tid int) { partial[tid*DotStride] = lv.reduceNaiveDotT(tid, x, y) }}
+	case EffectiveRanges:
+		return []func(int){func(tid int) { partial[tid*DotStride] = lv.reduceEffectiveDotT(tid, x, y) }}
+	case Indexed:
+		// The indexed reduction touches only conflicted elements, so the dot
+		// needs a separate full sweep of y once the reduction has finished.
+		return []func(int){
+			func(tid int) { lv.reduceIndexedT(tid, y) },
+			func(tid int) { partial[tid*DotStride] = lv.dotChunkT(tid, x, y) },
+		}
+	}
+	return nil
+}
+
+// reduceNaiveT sums the p full-length local vectors into y over thread tid's
+// uniform row chunk (Alg. 3 lines 12–15), re-zeroing the locals in the same
+// pass.
+func (lv *LocalVectors) reduceNaiveT(tid int, y []float64) {
+	lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+	for r := lo; r < hi; r++ {
+		sum := 0.0
+		for t := 0; t < lv.p; t++ {
+			sum += lv.Vecs[t][r]
+			lv.Vecs[t][r] = 0
+		}
+		y[r] = sum
 	}
 }
 
-// reduceNaive sums the p full-length local vectors into y over uniform row
-// chunks (Alg. 3 lines 12–15), re-zeroing the locals in the same pass.
-func (lv *LocalVectors) reduceNaive(pool *parallel.Pool, y []float64) {
-	pool.Run(func(tid int) {
-		lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
-		for r := lo; r < hi; r++ {
-			sum := 0.0
-			for t := 0; t < lv.p; t++ {
+func (lv *LocalVectors) reduceNaiveDotT(tid int, x, y []float64) float64 {
+	lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+	dot := 0.0
+	for r := lo; r < hi; r++ {
+		sum := 0.0
+		for t := 0; t < lv.p; t++ {
+			sum += lv.Vecs[t][r]
+			lv.Vecs[t][r] = 0
+		}
+		y[r] = sum
+		dot += x[r] * sum
+	}
+	return dot
+}
+
+// reduceEffectiveT folds the effective regions into y over thread tid's
+// uniform row chunk: row r receives contributions from every thread whose
+// partition starts after r (those are a suffix, since partition starts are
+// non-decreasing). Owners are likewise non-decreasing in r, so a single
+// binary search at the chunk start seeds a cursor that advances across the
+// chunk instead of re-searching per row.
+func (lv *LocalVectors) reduceEffectiveT(tid int, y []float64) {
+	lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+	if lo >= hi {
+		return
+	}
+	own := lv.Part.Owner(lo)
+	for r := lo; r < hi; r++ {
+		for r >= lv.Part.End[own] {
+			own++
+		}
+		sum := y[r]
+		for t := own + 1; t < lv.p; t++ {
+			if int32(len(lv.Vecs[t])) > r {
 				sum += lv.Vecs[t][r]
 				lv.Vecs[t][r] = 0
 			}
-			y[r] = sum
 		}
-	})
+		y[r] = sum
+	}
 }
 
-// reduceEffective folds the effective regions into y: row r receives
-// contributions from every thread whose partition starts after r (those are
-// a suffix, since partition starts are non-decreasing).
-func (lv *LocalVectors) reduceEffective(pool *parallel.Pool, y []float64) {
-	pool.Run(func(tid int) {
-		lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
-		for r := lo; r < hi; r++ {
-			t0 := lv.Part.Owner(r) + 1
-			sum := y[r]
-			for t := t0; t < lv.p; t++ {
-				if int32(len(lv.Vecs[t])) > r {
-					sum += lv.Vecs[t][r]
-					lv.Vecs[t][r] = 0
-				}
+func (lv *LocalVectors) reduceEffectiveDotT(tid int, x, y []float64) float64 {
+	lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+	if lo >= hi {
+		return 0
+	}
+	own := lv.Part.Owner(lo)
+	dot := 0.0
+	for r := lo; r < hi; r++ {
+		for r >= lv.Part.End[own] {
+			own++
+		}
+		sum := y[r]
+		for t := own + 1; t < lv.p; t++ {
+			if int32(len(lv.Vecs[t])) > r {
+				sum += lv.Vecs[t][r]
+				lv.Vecs[t][r] = 0
 			}
-			y[r] = sum
 		}
-	})
+		y[r] = sum
+		dot += x[r] * sum
+	}
+	return dot
 }
 
-// reduceIndexed walks each worker's slice of the sorted conflict index,
-// adding exactly the touched local elements into y. Boundaries never split
-// an Idx value, so each output element is written by a single worker.
-func (lv *LocalVectors) reduceIndexed(pool *parallel.Pool, y []float64) {
-	pool.Run(func(tid int) {
-		lo, hi := lv.redSplit[tid], lv.redSplit[tid+1]
-		for e := lo; e < hi; e++ {
-			ent := lv.index[e]
-			y[ent.Idx] += lv.Vecs[ent.Vid][ent.Idx]
-			lv.Vecs[ent.Vid][ent.Idx] = 0
+// reduceIndexedT walks worker tid's slice of the reduction-ordered conflict
+// index, adding exactly the touched local elements into y. Entries are
+// grouped into per-Vid runs, so each run streams one local vector
+// sequentially; worker boundaries never split an Idx value, so each output
+// element is written by a single worker.
+func (lv *LocalVectors) reduceIndexedT(tid int, y []float64) {
+	lo, hi := lv.redSplit[tid], lv.redSplit[tid+1]
+	for e := lo; e < hi; {
+		vid := lv.redEntries[e].Vid
+		local := lv.Vecs[vid]
+		for ; e < hi && lv.redEntries[e].Vid == vid; e++ {
+			idx := lv.redEntries[e].Idx
+			y[idx] += local[idx]
+			local[idx] = 0
 		}
-	})
+	}
+}
+
+// dotChunkT computes the xᵀy partial over thread tid's uniform row chunk.
+func (lv *LocalVectors) dotChunkT(tid int, x, y []float64) float64 {
+	lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+	sum := 0.0
+	for r := lo; r < hi; r++ {
+		sum += x[r] * y[r]
+	}
+	return sum
 }
 
 // IndexLen reports the number of conflict-index entries (touched

@@ -168,15 +168,18 @@ func (k *Kernel) mulMatEffective(x, y []float64, nv int) {
 func (k *Kernel) reduceMatLocal(y []float64, nv int) {
 	if k.Method == Indexed {
 		k.pool.Run(func(tid int) {
-			index, split := k.LV.Index(), k.LV.redSplit
+			entries, split := k.LV.redEntries, k.LV.redSplit
 			lo, hi := split[tid], split[tid+1]
-			for e := lo; e < hi; e++ {
-				ent := index[e]
-				local := k.wide.vecs[ent.Vid]
-				base := int(ent.Idx) * nv
-				for v := 0; v < nv; v++ {
-					y[base+v] += local[base+v]
-					local[base+v] = 0
+			// Entries are grouped into per-Vid runs, so each run streams one
+			// wide local vector sequentially.
+			for e := lo; e < hi; {
+				local := k.wide.vecs[entries[e].Vid]
+				for vid := entries[e].Vid; e < hi && entries[e].Vid == vid; e++ {
+					base := int(entries[e].Idx) * nv
+					for v := 0; v < nv; v++ {
+						y[base+v] += local[base+v]
+						local[base+v] = 0
+					}
 				}
 			}
 		})

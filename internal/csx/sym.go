@@ -24,6 +24,10 @@ type SymMatrix struct {
 	LV      *core.LocalVectors
 
 	nnzLower int
+
+	// dot holds the per-thread partial sums of MulVecDot, one cache line
+	// apart, allocated on first use.
+	dot []float64
 }
 
 // NewSym encodes an SSS matrix into CSX-Sym with p per-thread blobs and the
@@ -90,8 +94,35 @@ func MaxSymCompressionRatio(nnzLower, n int) float64 {
 
 // MulVec computes y = A·x on pool: the CSX-Sym multiplication phase (dual
 // writes per stored element, unit-level local/direct routing) followed by
-// the configured local-vectors reduction.
+// the configured local-vectors reduction, chained through Pool.RunPhases so
+// the pair costs one coordinator handoff.
 func (sm *SymMatrix) MulVec(pool *parallel.Pool, x, y []float64) {
+	sm.checkDims(pool, x, y)
+	phases := append([]func(int){func(tid int) { sm.multiplyT(tid, x, y) }},
+		sm.LV.ReducePhases(y)...)
+	pool.RunPhases(phases...)
+}
+
+// MulVecDot computes y = A·x and returns xᵀ·y, with the dot fused into the
+// reduction phase exactly like core.Kernel.MulVecDot — the CG fast path for
+// CSX-Sym kernels.
+func (sm *SymMatrix) MulVecDot(pool *parallel.Pool, x, y []float64) float64 {
+	sm.checkDims(pool, x, y)
+	p := pool.Size()
+	if sm.dot == nil {
+		sm.dot = make([]float64, p*core.DotStride)
+	}
+	phases := append([]func(int){func(tid int) { sm.multiplyT(tid, x, y) }},
+		sm.LV.ReduceDotPhases(x, y, sm.dot)...)
+	pool.RunPhases(phases...)
+	total := 0.0
+	for t := 0; t < p; t++ {
+		total += sm.dot[t*core.DotStride]
+	}
+	return total
+}
+
+func (sm *SymMatrix) checkDims(pool *parallel.Pool, x, y []float64) {
 	if pool.Size() != len(sm.Blobs) {
 		panic(fmt.Sprintf("csx: pool size %d != blob count %d", pool.Size(), len(sm.Blobs)))
 	}
@@ -99,28 +130,29 @@ func (sm *SymMatrix) MulVec(pool *parallel.Pool, x, y []float64) {
 		panic(fmt.Sprintf("csx: MulVec dims: A is %dx%d, len(x)=%d, len(y)=%d",
 			sm.N, sm.N, len(x), len(y)))
 	}
-	pool.Run(func(tid int) {
-		b := sm.Blobs[tid]
-		local := sm.LV.Vecs[tid]
-		if sm.Method == core.Naive {
-			// Naive semantics: *every* write goes to the thread's
-			// full-length local vector and the reduction overwrites y.
-			// Passing the local as both output and local with a boundary
-			// beyond every column routes all unit writes there.
-			for r := b.StartRow; r < b.EndRow; r++ {
-				local[r] = sm.DValues[r] * x[r]
-			}
-			mulBlobSym(b, int32(sm.N)+1, x, local, local)
-			return
-		}
-		// Effective-ranges/indexed: initialize the own range with the
-		// diagonal contribution; every subsequent write accumulates.
+}
+
+// multiplyT runs thread tid's slice of the CSX-Sym multiplication phase.
+func (sm *SymMatrix) multiplyT(tid int, x, y []float64) {
+	b := sm.Blobs[tid]
+	local := sm.LV.Vecs[tid]
+	if sm.Method == core.Naive {
+		// Naive semantics: *every* write goes to the thread's
+		// full-length local vector and the reduction overwrites y.
+		// Passing the local as both output and local with a boundary
+		// beyond every column routes all unit writes there.
 		for r := b.StartRow; r < b.EndRow; r++ {
-			y[r] = sm.DValues[r] * x[r]
+			local[r] = sm.DValues[r] * x[r]
 		}
-		mulBlobSym(b, sm.Part.Start[tid], x, y, local)
-	})
-	sm.LV.Reduce(pool, y)
+		mulBlobSym(b, int32(sm.N)+1, x, local, local)
+		return
+	}
+	// Effective-ranges/indexed: initialize the own range with the
+	// diagonal contribution; every subsequent write accumulates.
+	for r := b.StartRow; r < b.EndRow; r++ {
+		y[r] = sm.DValues[r] * x[r]
+	}
+	mulBlobSym(b, sm.Part.Start[tid], x, y, local)
 }
 
 // mulBlobSym is the CSX-Sym decode-multiply kernel. For every unit the

@@ -186,3 +186,52 @@ func TestSymNaiveAndEffectiveMethods(t *testing.T) {
 		}
 	}
 }
+
+// MulVecDot must produce the same output as MulVec bitwise (the fused dot
+// only adds reads) and return xᵀ·(A·x), under every reduction method and
+// across both phase-dispatch paths.
+func TestSymMulVecDot(t *testing.T) {
+	ms := testMatrices(t)
+	rng := rand.New(rand.NewSource(16))
+	for _, name := range []string{"banded", "blocked", "scattered"} {
+		s, err := core.FromCOO(ms[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, s.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, method := range []core.ReductionMethod{core.Naive, core.EffectiveRanges, core.Indexed} {
+			sm := NewSym(s, 4, method, DefaultOptions())
+			var prevDot float64
+			for mi, mode := range []parallel.PhaseMode{parallel.PhaseSpin, parallel.PhaseChannel} {
+				pool := parallel.NewPool(4)
+				pool.SetPhaseMode(mode)
+				y1 := make([]float64, s.N)
+				y2 := make([]float64, s.N)
+				sm.MulVec(pool, x, y1)
+				dot := sm.MulVecDot(pool, x, y2)
+				pool.Close()
+				for i := range y1 {
+					if y1[i] != y2[i] {
+						t.Fatalf("%s/%v: y[%d] differs: MulVec %g, MulVecDot %g",
+							name, method, i, y1[i], y2[i])
+					}
+				}
+				want := 0.0
+				for i := range y1 {
+					want += x[i] * y1[i]
+				}
+				if d := dot - want; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("%s/%v: dot=%g, want %g", name, method, dot, want)
+				}
+				if mi > 0 && dot != prevDot {
+					t.Fatalf("%s/%v: dot differs across dispatch modes: %g vs %g",
+						name, method, dot, prevDot)
+				}
+				prevDot = dot
+			}
+		}
+	}
+}

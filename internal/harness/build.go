@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bcsr"
+	"repro/internal/cg"
 	"repro/internal/core"
 	"repro/internal/csr"
 	"repro/internal/csx"
@@ -73,8 +74,32 @@ type Built struct {
 	P       int
 	Cost    perfmodel.SpMVCost
 	Mul     func(x, y []float64)
-	Preproc time.Duration // wall-clock construction time on the host
-	Bytes   int64         // encoded matrix size
+	MulDot  func(x, y []float64) float64 // fused y=A·x + xᵀy; nil when unsupported
+	Preproc time.Duration                // wall-clock construction time on the host
+	Bytes   int64                        // encoded matrix size
+}
+
+// fusedOp and plainOp adapt a Built to the cg operator interfaces: fusedOp
+// advertises cg.MulVecDotter so Solve takes the two-handoff fast path.
+type plainOp struct{ mul func(x, y []float64) }
+
+func (o plainOp) MulVec(x, y []float64) { o.mul(x, y) }
+
+type fusedOp struct {
+	plainOp
+	mulDot func(x, y []float64) float64
+}
+
+func (o fusedOp) MulVecDot(x, y []float64) float64 { return o.mulDot(x, y) }
+
+// Op returns the kernel as a cg operator. When the format supports the fused
+// SpM×V+dot (the symmetric kernels), the returned operator implements
+// cg.MulVecDotter and cg.Solve runs its two-handoff iteration.
+func (b *Built) Op() cg.MulVecer {
+	if b.MulDot != nil {
+		return fusedOp{plainOp{b.Mul}, b.MulDot}
+	}
+	return plainOp{b.Mul}
 }
 
 // Build constructs the kernel for format f at p = pool.Size() threads.
@@ -114,11 +139,13 @@ func Build(sm *SuiteMatrix, f Format, pool *parallel.Pool) *Built {
 		}[f]
 		k := core.NewKernel(sm.S, method, pool)
 		b.Mul = k.MulVec
+		b.MulDot = k.MulVecDot
 		b.Cost = perfmodel.SSSCost(k)
 		b.Bytes = sm.S.Bytes()
 	case FormatCSXSym:
 		smx := csx.NewSym(sm.S, p, core.Indexed, csx.DefaultOptions())
 		b.Mul = func(x, y []float64) { smx.MulVec(pool, x, y) }
+		b.MulDot = func(x, y []float64) float64 { return smx.MulVecDot(pool, x, y) }
 		b.Cost = perfmodel.CSXSymCost(smx, sm.S)
 		b.Bytes = smx.Bytes()
 	default:

@@ -134,7 +134,7 @@ func HostCG(cfg Config, suite []*SuiteMatrix, threads, iters int) *Table {
 			built := Build(sm, f, pool)
 			x := make([]float64, n)
 			vec.Fill(pool, x, 0)
-			res := cg.Solve(cg.MulVecFunc(built.Mul), pool, b, x, cg.Options{
+			res := cg.Solve(built.Op(), pool, b, x, cg.Options{
 				MaxIter: iters, FixedIterations: true,
 			})
 			t.Rows = append(t.Rows, []string{

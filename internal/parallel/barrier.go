@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// spinBudget bounds the busy-wait iterations a barrier waiter performs before
+// it starts yielding the processor. The value is deliberately modest: a
+// barrier round-trip between phases of the same kernel costs well under a
+// microsecond when every participant has its own core, so a waiter that has
+// spun this long is almost certainly sharing a core with a participant that
+// has not arrived yet, and holding the core only delays it further.
+const spinBudget = 1 << 12
+
+// SpinBarrier is a sense-reversing barrier for a fixed set of n participants.
+// Arrival is an atomic counter; release is a generation word that the last
+// arriver bumps, so no participant ever passes through the kernel's channel
+// machinery between consecutive phases. Waiters spin for a short budget and
+// then back off with runtime.Gosched; when n exceeds GOMAXPROCS the spin
+// phase is skipped entirely (a waiter's core is needed by the participants
+// that have not arrived, so burning it is counterproductive).
+//
+// A SpinBarrier may be reused for any number of rounds, but every round must
+// involve exactly the n participants it was created for.
+type SpinBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+// NewSpinBarrier creates a barrier for n participants. n must be positive.
+func NewSpinBarrier(n int) *SpinBarrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("parallel: NewSpinBarrier(%d): size must be positive", n))
+	}
+	return &SpinBarrier{n: int32(n)}
+}
+
+// Wait blocks until all n participants have called Wait for the current
+// round. The atomic counter and generation word carry release/acquire
+// ordering, so writes made by any participant before Wait are visible to
+// every participant after Wait returns.
+func (b *SpinBarrier) Wait() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		// Last arriver: re-arm the counter for the next round, then release
+		// the waiters. Only this goroutine runs between the two stores (all
+		// others are blocked on gen), so the reset cannot race with a
+		// next-round arrival.
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	budget := spinBudget
+	if int(b.n) > runtime.GOMAXPROCS(0) {
+		budget = 0 // oversubscribed: yield immediately
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if spins >= budget {
+			runtime.Gosched()
+		}
+	}
+}

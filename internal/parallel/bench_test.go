@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkPoolRun measures the round-trip latency of a single channel
+// dispatch (one coordinator handoff) at the thread counts the Fig. 7/8
+// dispatch-latency discussion cares about. The body is empty, so ns/op is
+// pure synchronization cost.
+func BenchmarkPoolRun(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			pool := NewPool(p)
+			defer pool.Close()
+			noop := func(int) {}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.Run(noop)
+			}
+		})
+	}
+}
+
+// BenchmarkRunPhases measures a two-phase chain — the multiply→reduce shape
+// of every symmetric SpM×V — under the three dispatch modes. The spin path
+// should beat channel dispatch whenever workers have their own cores: the
+// inter-phase boundary is a barrier round instead of a full coordinator
+// handoff. GOMAXPROCS is raised to the worker count for the duration so the
+// resident path is exercised even on small CI machines.
+func BenchmarkRunPhases(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		prev := runtime.GOMAXPROCS(0)
+		if prev < p {
+			runtime.GOMAXPROCS(p)
+		}
+		for _, mode := range []struct {
+			name string
+			m    PhaseMode
+		}{{"spin", PhaseSpin}, {"channel", PhaseChannel}} {
+			b.Run(fmt.Sprintf("p=%d/%s", p, mode.name), func(b *testing.B) {
+				pool := NewPool(p)
+				defer pool.Close()
+				pool.SetPhaseMode(mode.m)
+				noop := func(int) {}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pool.RunPhases(noop, noop)
+				}
+			})
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// BenchmarkSpinBarrier measures a bare barrier round among p resident
+// goroutines — the marginal cost RunPhases pays per extra phase.
+func BenchmarkSpinBarrier(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(0)
+			if prev < p {
+				runtime.GOMAXPROCS(p)
+				defer runtime.GOMAXPROCS(prev)
+			}
+			pool := NewPool(p)
+			defer pool.Close()
+			bar := NewSpinBarrier(p)
+			b.ResetTimer()
+			pool.Run(func(int) {
+				for i := 0; i < b.N; i++ {
+					bar.Wait()
+				}
+			})
+		})
+	}
+}

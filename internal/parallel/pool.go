@@ -1,4 +1,5 @@
-// Package parallel provides a persistent worker pool with barrier semantics.
+// Package parallel provides a persistent worker pool with barrier semantics
+// and a low-latency multi-phase dispatch path.
 //
 // The paper's implementation uses explicit Pthreads bound to cores and reuses
 // the same threads across the 128 SpM×V iterations of the measurement
@@ -6,22 +7,59 @@
 // kernels with scheduler overhead the paper does not have, so Pool keeps p
 // long-lived workers that block on a dispatch channel and signal completion
 // through a shared WaitGroup.
+//
+// A single channel dispatch (one coordinator handoff) costs on the order of
+// microseconds at high worker counts — small next to a large SpM×V but
+// dominant for the short phases of a CG iteration on small matrices. The
+// multi-phase path (RunPhases) therefore keeps the workers resident across
+// consecutive phases, separating them with a SpinBarrier instead of
+// returning to the coordinator, so a multiply→reduce chain or a fused
+// axpy/dot/xpay chain pays one handoff per call instead of one per phase.
 package parallel
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+)
+
+// PhaseMode selects how RunPhases separates consecutive phases.
+type PhaseMode int
+
+const (
+	// PhaseAuto uses the resident spin-barrier path when the pool is not
+	// oversubscribed (Size() ≤ GOMAXPROCS) and falls back to per-phase
+	// channel dispatch otherwise, where spinning workers would steal the
+	// processor from the workers they are waiting for.
+	PhaseAuto PhaseMode = iota
+	// PhaseSpin always keeps workers resident across phases with the spin
+	// barrier between them (the barrier itself degrades to Gosched-yielding
+	// when oversubscribed, so this stays correct at any GOMAXPROCS).
+	PhaseSpin
+	// PhaseChannel always dispatches each phase as a separate channel
+	// round-trip — the pre-fusion behaviour, kept for A/B benchmarking.
+	PhaseChannel
 )
 
 // Pool is a fixed-size set of persistent workers. A Pool must be created with
-// NewPool and released with Close. It is safe for repeated use from a single
-// coordinating goroutine; Run calls must not be issued concurrently.
+// NewPool and released with Close.
+//
+// Ownership: a Pool is owned by a single coordinating goroutine. Run,
+// RunChunked, RunPhases and Close must all be issued from that goroutine (or
+// otherwise serialized by the caller); the Pool detects misuse — Run after
+// Close, Close during a Run, overlapping Runs — and panics deterministically
+// instead of racing.
 type Pool struct {
-	n      int
-	work   []chan func(tid int)
-	wg     sync.WaitGroup
-	closed bool
+	n       int
+	work    []chan func(tid int)
+	wg      sync.WaitGroup
+	barrier *SpinBarrier
+	mode    PhaseMode
+
+	closed   atomic.Bool
+	busy     atomic.Bool
+	handoffs atomic.Int64
 }
 
 // NewPool starts n persistent workers. n must be positive.
@@ -30,8 +68,9 @@ func NewPool(n int) *Pool {
 		panic(fmt.Sprintf("parallel: NewPool(%d): size must be positive", n))
 	}
 	p := &Pool{
-		n:    n,
-		work: make([]chan func(tid int), n),
+		n:       n,
+		work:    make([]chan func(tid int), n),
+		barrier: NewSpinBarrier(n),
 	}
 	for i := 0; i < n; i++ {
 		p.work[i] = make(chan func(tid int))
@@ -50,17 +89,87 @@ func (p *Pool) worker(tid int) {
 // Size reports the number of workers.
 func (p *Pool) Size() int { return p.n }
 
-// Run executes fn(tid) on every worker, tid in [0, Size()), and blocks until
-// all workers have finished (a barrier).
-func (p *Pool) Run(fn func(tid int)) {
-	if p.closed {
-		panic("parallel: Run on closed Pool")
+// SetPhaseMode overrides how RunPhases separates phases (default PhaseAuto).
+// Like every other Pool method it must be called by the owning goroutine.
+func (p *Pool) SetPhaseMode(m PhaseMode) { p.mode = m }
+
+// Handoffs reports the number of coordinator→worker dispatch cycles issued so
+// far: every Run counts one; RunPhases counts one on the resident path and
+// one per phase on the channel-fallback path. Tests use it to assert phase
+// fusion actually collapsed the barrier chain.
+func (p *Pool) Handoffs() int64 { return p.handoffs.Load() }
+
+// ResetHandoffs zeroes the dispatch counter.
+func (p *Pool) ResetHandoffs() { p.handoffs.Store(0) }
+
+// begin guards a dispatch: panics deterministically on misuse.
+func (p *Pool) begin(op string) {
+	if p.closed.Load() {
+		panic("parallel: " + op + " on closed Pool")
 	}
+	if !p.busy.CompareAndSwap(false, true) {
+		panic("parallel: concurrent " + op + " on Pool (a Pool is owned by a single goroutine)")
+	}
+}
+
+func (p *Pool) end() { p.busy.Store(false) }
+
+// dispatch sends fn to every worker and waits for completion — one
+// coordinator handoff.
+func (p *Pool) dispatch(fn func(tid int)) {
+	p.handoffs.Add(1)
 	p.wg.Add(p.n)
 	for i := 0; i < p.n; i++ {
 		p.work[i] <- fn
 	}
 	p.wg.Wait()
+}
+
+// Run executes fn(tid) on every worker, tid in [0, Size()), and blocks until
+// all workers have finished (a barrier).
+func (p *Pool) Run(fn func(tid int)) {
+	p.begin("Run")
+	defer p.end()
+	p.dispatch(fn)
+}
+
+// RunPhases executes the given phases in order on every worker: within a
+// phase all workers run concurrently, and no worker starts phase i+1 before
+// every worker has finished phase i. On the resident path the whole chain
+// costs a single coordinator handoff, with only a spin-barrier round between
+// phases; under PhaseChannel (or PhaseAuto when oversubscribed) each phase is
+// a separate channel dispatch, identical to calling Run per phase.
+func (p *Pool) RunPhases(phases ...func(tid int)) {
+	if len(phases) == 0 {
+		return
+	}
+	p.begin("RunPhases")
+	defer p.end()
+	if len(phases) == 1 {
+		p.dispatch(phases[0])
+		return
+	}
+	resident := true
+	switch p.mode {
+	case PhaseAuto:
+		resident = p.n <= runtime.GOMAXPROCS(0)
+	case PhaseChannel:
+		resident = false
+	}
+	if !resident {
+		for _, ph := range phases {
+			p.dispatch(ph)
+		}
+		return
+	}
+	p.dispatch(func(tid int) {
+		for i, ph := range phases {
+			ph(tid)
+			if i < len(phases)-1 {
+				p.barrier.Wait()
+			}
+		}
+	})
 }
 
 // RunChunked partitions [0, n) into Size() nearly equal contiguous chunks and
@@ -73,12 +182,17 @@ func (p *Pool) RunChunked(n int, fn func(tid, lo, hi int)) {
 	})
 }
 
-// Close terminates the workers. The Pool must not be used afterwards.
+// Close terminates the workers. The Pool must not be used afterwards. Close
+// during an in-flight Run/RunPhases is a misuse of the single-goroutine
+// ownership contract and panics. A second Close is a no-op.
 func (p *Pool) Close() {
-	if p.closed {
+	if !p.busy.CompareAndSwap(false, true) {
+		panic("parallel: Close during Run (a Pool is owned by a single goroutine)")
+	}
+	defer p.end()
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
 	for i := 0; i < p.n; i++ {
 		close(p.work[i])
 	}

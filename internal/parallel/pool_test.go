@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -73,6 +75,190 @@ func TestCloseThenRunPanics(t *testing.T) {
 	p.Run(func(int) {})
 }
 
+// Regression: closed used to be a plain bool read by Run and written by
+// Close, so a Close racing an in-flight Run was a data race with silent
+// outcomes. The Pool now panics deterministically on any violation of its
+// single-goroutine ownership contract.
+func TestCloseDuringRunPanics(t *testing.T) {
+	p := NewPool(2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(func(tid int) {
+			if tid == 0 {
+				close(started)
+			}
+			<-release
+		})
+	}()
+	<-started
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for Close during Run")
+			}
+		}()
+		p.Close()
+	}()
+	close(release)
+	<-done
+	p.Close()
+}
+
+func TestConcurrentRunPanics(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(func(tid int) {
+			if tid == 0 {
+				close(started)
+			}
+			<-release
+		})
+	}()
+	<-started
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for overlapping Run")
+			}
+		}()
+		p.Run(func(int) {})
+	}()
+	close(release)
+	<-done
+}
+
+// RunPhases must order phases: no worker may enter phase i+1 before every
+// worker finished phase i, and data written in phase i must be visible in
+// phase i+1 without further synchronization. The writes below are plain
+// (non-atomic), so running this under -race also validates the barrier's
+// happens-before edges on both dispatch paths.
+func runPhasesOrdering(t *testing.T, mode PhaseMode, n int) {
+	t.Helper()
+	p := NewPool(n)
+	defer p.Close()
+	p.SetPhaseMode(mode)
+	a := make([]int, n)
+	b := make([]int, n)
+	var sum int
+	for round := 0; round < 50; round++ {
+		p.RunPhases(
+			func(tid int) { a[tid] = tid + 1 },
+			func(tid int) { b[tid] = a[(tid+1)%n] * 2 }, // reads a neighbour's phase-1 write
+			func(tid int) {
+				if tid == 0 {
+					s := 0
+					for _, v := range b {
+						s += v
+					}
+					sum = s
+				}
+			},
+		)
+		want := n * (n + 1) // 2·Σ(tid+1)
+		if sum != want {
+			t.Fatalf("mode=%v n=%d round=%d: sum=%d, want %d", mode, n, round, sum, want)
+		}
+	}
+}
+
+func TestRunPhasesOrdering(t *testing.T) {
+	for _, mode := range []PhaseMode{PhaseAuto, PhaseSpin, PhaseChannel} {
+		for _, n := range []int{1, 2, 4, 8} {
+			runPhasesOrdering(t, mode, n)
+		}
+	}
+}
+
+// The spin barrier must stay correct when the pool is oversubscribed
+// (more participants than GOMAXPROCS): waiters yield instead of spinning,
+// and the generation word still carries the release ordering.
+func TestRunPhasesSpinOversubscribed(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	runPhasesOrdering(t, PhaseSpin, 8)
+}
+
+func TestSpinBarrierRounds(t *testing.T) {
+	const n, rounds = 6, 100
+	bar := NewSpinBarrier(n)
+	// data[i] is written by participant i in each round and read by all
+	// participants in the next round — plain accesses, checked under -race.
+	data := make([]int, n)
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				data[id] = r + 1
+				bar.Wait()
+				for j := 0; j < n; j++ {
+					if data[j] != r+1 {
+						errs <- "stale read"
+						return
+					}
+				}
+				bar.Wait()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestNewSpinBarrierPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NewSpinBarrier(0)")
+		}
+	}()
+	NewSpinBarrier(0)
+}
+
+func TestHandoffCounter(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	noop := func(int) {}
+
+	p.ResetHandoffs()
+	p.Run(noop)
+	if got := p.Handoffs(); got != 1 {
+		t.Fatalf("Run: %d handoffs, want 1", got)
+	}
+
+	p.SetPhaseMode(PhaseSpin)
+	p.ResetHandoffs()
+	p.RunPhases(noop, noop, noop)
+	if got := p.Handoffs(); got != 1 {
+		t.Fatalf("RunPhases(spin, 3 phases): %d handoffs, want 1", got)
+	}
+
+	p.SetPhaseMode(PhaseChannel)
+	p.ResetHandoffs()
+	p.RunPhases(noop, noop, noop)
+	if got := p.Handoffs(); got != 3 {
+		t.Fatalf("RunPhases(channel, 3 phases): %d handoffs, want 3", got)
+	}
+
+	p.ResetHandoffs()
+	p.RunPhases() // empty phase list: no dispatch at all
+	if got := p.Handoffs(); got != 0 {
+		t.Fatalf("RunPhases(): %d handoffs, want 0", got)
+	}
+}
+
 // Property: Chunk partitions [0,n) exactly — contiguous, ordered, covering.
 func TestQuickChunk(t *testing.T) {
 	f := func(nRaw, pRaw uint16) bool {
@@ -105,5 +291,68 @@ func TestChunkBalance(t *testing.T) {
 func TestDefaultThreadsPositive(t *testing.T) {
 	if DefaultThreads() < 1 {
 		t.Fatal("DefaultThreads < 1")
+	}
+}
+
+func TestChunkEdgeCases(t *testing.T) {
+	// n == 0: every chunk is empty.
+	for tid := 0; tid < 4; tid++ {
+		if lo, hi := Chunk(0, 4, tid); lo != 0 || hi != 0 {
+			t.Errorf("Chunk(0,4,%d) = [%d,%d), want [0,0)", tid, lo, hi)
+		}
+	}
+	// n < p: the first n chunks carry one element, the rest are empty.
+	for tid := 0; tid < 8; tid++ {
+		lo, hi := Chunk(3, 8, tid)
+		wantLen := 0
+		if tid < 3 {
+			wantLen = 1
+		}
+		if hi-lo != wantLen {
+			t.Errorf("Chunk(3,8,%d) has len %d, want %d", tid, hi-lo, wantLen)
+		}
+	}
+	// Remainder distribution: r leading chunks get the extra element.
+	n, p := 17, 5 // q=3, r=2 → sizes 4,4,3,3,3
+	want := []int{4, 4, 3, 3, 3}
+	for tid := 0; tid < p; tid++ {
+		if lo, hi := Chunk(n, p, tid); hi-lo != want[tid] {
+			t.Errorf("Chunk(%d,%d,%d) has len %d, want %d", n, p, tid, hi-lo, want[tid])
+		}
+	}
+	// p == 1 takes everything.
+	if lo, hi := Chunk(42, 1, 0); lo != 0 || hi != 42 {
+		t.Errorf("Chunk(42,1,0) = [%d,%d), want [0,42)", lo, hi)
+	}
+}
+
+func TestRunChunkedEdgeCases(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+
+	// n == 0: fn still runs exactly Size() times, all chunks empty.
+	var calls, nonEmpty int32
+	p.RunChunked(0, func(_, lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != hi {
+			atomic.AddInt32(&nonEmpty, 1)
+		}
+	})
+	if calls != 8 || nonEmpty != 0 {
+		t.Fatalf("RunChunked(0): %d calls (%d non-empty), want 8 calls all empty", calls, nonEmpty)
+	}
+
+	// n < p: each of the n elements visited exactly once, trailing chunks empty.
+	const n = 5
+	marks := make([]int32, n)
+	p.RunChunked(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("RunChunked(%d) with p=8: index %d visited %d times", n, i, m)
+		}
 	}
 }

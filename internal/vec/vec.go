@@ -1,6 +1,13 @@
 // Package vec provides the parallel dense-vector kernels the CG solver
 // performs between SpM×V operations: dot products, axpy-style updates,
 // copies and norms, all chunked over a worker pool.
+//
+// Besides the classic one-operation-per-barrier kernels, the package offers
+// fused kernels (SubCopyDots, CGStep) that chain a CG iteration's whole
+// axpy/dot/copy sequence through Pool.RunPhases: the per-thread partial sums
+// cross phase boundaries through a padded scratch array, and every thread
+// combines the partials itself after the barrier, so the chain costs one
+// coordinator handoff instead of one per operation.
 package vec
 
 import (
@@ -8,6 +15,9 @@ import (
 
 	"repro/internal/parallel"
 )
+
+// pad spaces per-thread partials one cache line apart.
+const pad = 8
 
 // Dot computes aᵀb in parallel (per-worker partial sums, combined serially —
 // deterministic for a fixed pool size).
@@ -82,4 +92,78 @@ func Fill(pool *parallel.Pool, x []float64, v float64) {
 			x[i] = v
 		}
 	})
+}
+
+// SubCopyDots fuses the CG setup chain into one coordinator handoff:
+// r = b − ap, p = r, returning bᵀb and rᵀr. Partial sums are combined
+// serially in thread order, so the results are bitwise identical to the
+// unfused Sub/Copy/Dot/Dot sequence.
+func SubCopyDots(pool *parallel.Pool, r, p, b, ap []float64) (bb, rr float64) {
+	np := pool.Size()
+	partial := make([]float64, 2*np*pad)
+	n := len(b)
+	pool.RunChunked(n, func(tid, lo, hi int) {
+		sb, sr := 0.0, 0.0
+		for i := lo; i < hi; i++ {
+			bi := b[i]
+			ri := bi - ap[i]
+			r[i] = ri
+			p[i] = ri
+			sb += bi * bi
+			sr += ri * ri
+		}
+		partial[tid*pad] = sb
+		partial[(np+tid)*pad] = sr
+	})
+	for t := 0; t < np; t++ {
+		bb += partial[t*pad]
+		rr += partial[(np+t)*pad]
+	}
+	return bb, rr
+}
+
+// CGStep fuses the vector-operation tail of one CG iteration (Alg. 1) into a
+// single coordinator handoff with one barrier inside:
+//
+//	phase 1: x += alpha·p,  r −= alpha·ap,  partial rrNew per thread
+//	phase 2: every thread combines the partials (same serial order →
+//	         deterministic), derives beta = rrNew/rrOld, and applies
+//	         p = r + beta·p over its chunk
+//
+// It returns rrNew. The unfused equivalent costs four barriers (two axpys,
+// a dot and an xpay); the arithmetic and summation order are identical, so
+// the results match the unfused sequence bitwise.
+func CGStep(pool *parallel.Pool, alpha, rrOld float64, p, ap, x, r []float64) float64 {
+	np := pool.Size()
+	partial := make([]float64, np*pad)
+	var rrNew float64
+	n := len(r)
+	pool.RunPhases(
+		func(tid int) {
+			lo, hi := parallel.Chunk(n, np, tid)
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				ri := r[i] - alpha*ap[i]
+				r[i] = ri
+				sum += ri * ri
+			}
+			partial[tid*pad] = sum
+		},
+		func(tid int) {
+			total := 0.0
+			for t := 0; t < np; t++ {
+				total += partial[t*pad]
+			}
+			beta := total / rrOld
+			lo, hi := parallel.Chunk(n, np, tid)
+			for i := lo; i < hi; i++ {
+				p[i] = r[i] + beta*p[i]
+			}
+			if tid == 0 {
+				rrNew = total
+			}
+		},
+	)
+	return rrNew
 }

@@ -131,3 +131,85 @@ func TestDotDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// SubCopyDots must be bitwise identical to the unfused Sub/Copy/Dot/Dot
+// sequence it replaces in the CG setup.
+func TestSubCopyDotsMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 7, 1000} {
+		for _, p := range []int{1, 3, 8} {
+			pool := parallel.NewPool(p)
+			b := make([]float64, n)
+			ap := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b[i] = rng.NormFloat64()
+				ap[i] = rng.NormFloat64()
+			}
+			rWant := make([]float64, n)
+			pWant := make([]float64, n)
+			Sub(pool, rWant, b, ap)
+			Copy(pool, pWant, rWant)
+			bbWant := Dot(pool, b, b)
+			rrWant := Dot(pool, rWant, rWant)
+
+			rGot := make([]float64, n)
+			pGot := make([]float64, n)
+			bb, rr := SubCopyDots(pool, rGot, pGot, b, ap)
+			pool.Close()
+			if bb != bbWant || rr != rrWant {
+				t.Fatalf("n=%d p=%d: dots (%g,%g), want (%g,%g)", n, p, bb, rr, bbWant, rrWant)
+			}
+			for i := 0; i < n; i++ {
+				if rGot[i] != rWant[i] || pGot[i] != pWant[i] {
+					t.Fatalf("n=%d p=%d: vectors differ at %d", n, p, i)
+				}
+			}
+		}
+	}
+}
+
+// CGStep must be bitwise identical to the unfused axpy/axpy/dot/xpay chain
+// of one CG iteration, on both phase-dispatch paths.
+func TestCGStepMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 9, 1000} {
+		for _, p := range []int{1, 4, 8} {
+			for _, mode := range []parallel.PhaseMode{parallel.PhaseSpin, parallel.PhaseChannel} {
+				pool := parallel.NewPool(p)
+				pool.SetPhaseMode(mode)
+				pv := make([]float64, n)
+				ap := make([]float64, n)
+				x := make([]float64, n)
+				r := make([]float64, n)
+				for i := 0; i < n; i++ {
+					pv[i] = rng.NormFloat64()
+					ap[i] = rng.NormFloat64()
+					x[i] = rng.NormFloat64()
+					r[i] = rng.NormFloat64()
+				}
+				alpha := 0.37
+				rrOld := Dot(pool, r, r)
+
+				// Unfused reference on copies.
+				xw := append([]float64(nil), x...)
+				rw := append([]float64(nil), r...)
+				pw := append([]float64(nil), pv...)
+				Axpy(pool, alpha, pw, xw)
+				Axpy(pool, -alpha, ap, rw)
+				rrWant := Dot(pool, rw, rw)
+				Xpay(pool, rrWant/rrOld, rw, pw)
+
+				rrGot := CGStep(pool, alpha, rrOld, pv, ap, x, r)
+				pool.Close()
+				if rrGot != rrWant {
+					t.Fatalf("n=%d p=%d mode=%v: rr=%g, want %g", n, p, mode, rrGot, rrWant)
+				}
+				for i := 0; i < n; i++ {
+					if x[i] != xw[i] || r[i] != rw[i] || pv[i] != pw[i] {
+						t.Fatalf("n=%d p=%d mode=%v: vectors differ at %d", n, p, mode, i)
+					}
+				}
+			}
+		}
+	}
+}
