@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench ci tune-demo
 
 all: build
 
@@ -26,3 +26,9 @@ bench:
 # the race detector (the execution engine's spin barrier and phase fusion are
 # exactly the kind of code -race exists for).
 ci: vet build race
+
+# tune-demo runs the empirical autotuner on a small slice of the paper suite
+# and prints one decision table per matrix: every candidate plan with its
+# modeled prediction, measured micro-trial time, build cost, and fate.
+tune-demo:
+	$(GO) run ./cmd/spmv-bench -format auto -scale 0.05 -matrices parabolic_fem,consph

@@ -1,0 +1,217 @@
+package symspmv
+
+// AutoKernel is the empirical autotuning entry point: instead of the caller
+// hand-picking a Format, reduction method, and thread count, the library
+// measures its way to the best execution plan for this matrix on this
+// machine (internal/autotune) and remembers the decision in a persistent
+// tuning cache, so repeat solves of the same system skip the search.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/autotune"
+)
+
+// Decision is the autotuner's full record of one plan selection: the chosen
+// plan, every candidate examined with modeled and measured timings, why the
+// losers were pruned or eliminated, and whether the tuning cache supplied
+// the answer without any timing at all.
+type Decision = autotune.Decision
+
+// autoOpts collects AutoKernel configuration.
+type autoOpts struct {
+	cacheDir string
+	noCache  bool
+	formats  []Format
+	tune     autotune.Options
+}
+
+// AutoOption configures AutoKernel.
+type AutoOption func(*autoOpts)
+
+// AutoCacheDir overrides the tuning-cache directory (default:
+// <user cache dir>/symspmv/autotune).
+func AutoCacheDir(dir string) AutoOption {
+	return func(o *autoOpts) { o.cacheDir = dir }
+}
+
+// AutoNoCache disables the persistent tuning cache: every call re-runs the
+// search.
+func AutoNoCache() AutoOption {
+	return func(o *autoOpts) { o.noCache = true }
+}
+
+// AutoMaxThreads caps the thread counts the search considers (default:
+// GOMAXPROCS).
+func AutoMaxThreads(n int) AutoOption {
+	return func(o *autoOpts) { o.tune.MaxThreads = n }
+}
+
+// AutoFormats restricts the searched formats (default: CSR, BCSR, the four
+// SSS reduction methods, CSX-Sym, and CSB). CSX is not in the plan space —
+// it is dominated by CSX-Sym on the symmetric operators this library holds.
+func AutoFormats(fs ...Format) AutoOption {
+	return func(o *autoOpts) { o.formats = fs }
+}
+
+// AutoReorder enables or disables the RCM-reordered plan variants (default:
+// enabled; the tuner only trials them when the locality model says
+// reordering could pay).
+func AutoReorder(enable bool) AutoOption {
+	return func(o *autoOpts) { o.tune.DisableReorder = !enable }
+}
+
+// AutoTrialIters sets the operation count of the first micro-trial round
+// (default 8); successive-halving rounds double it.
+func AutoTrialIters(n int) AutoOption {
+	return func(o *autoOpts) { o.tune.TrialIters = n }
+}
+
+// AutoAmortizeOps sets the expected kernel lifetime in SpM×V operations,
+// over which preprocessing cost (CSX-Sym encoding, BCSR block search) is
+// amortized into the trial score (default 1000). Short-lived workloads
+// should lower it so cheap-to-build formats win.
+func AutoAmortizeOps(n int) AutoOption {
+	return func(o *autoOpts) { o.tune.AmortizeOps = n }
+}
+
+// AutoLog directs the tuner's progress lines to w.
+func AutoLog(w io.Writer) AutoOption {
+	return func(o *autoOpts) { o.tune.Log = w }
+}
+
+// autoFormat maps facade formats into the autotuner's plan space.
+var autoFormat = map[Format]autotune.Format{
+	CSR:          autotune.CSR,
+	BCSR:         autotune.BCSR,
+	SSSNaive:     autotune.SSSNaive,
+	SSSEffective: autotune.SSSEffective,
+	SSSIndexed:   autotune.SSSIndexed,
+	SSSAtomic:    autotune.SSSAtomic,
+	CSXSym:       autotune.CSXSym,
+	CSB:          autotune.CSBSym,
+}
+
+// facadeFormat is the inverse of autoFormat.
+var facadeFormat = map[autotune.Format]Format{}
+
+func init() {
+	for f, af := range autoFormat {
+		facadeFormat[af] = f
+	}
+}
+
+// AutoKernel selects and builds the best kernel for the matrix on this
+// machine. The search prunes the candidate space with the performance
+// model, then times the survivors with real micro-trials (see
+// internal/autotune); the winning plan is persisted in a versioned,
+// checksummed tuning cache keyed by the matrix structure fingerprint and a
+// machine signature, so a second AutoKernel call on the same system runs
+// zero trials. The returned Decision reports what was tried and why.
+//
+// The returned Kernel must be released with Close, like any other.
+func AutoKernel(a *Matrix, options ...AutoOption) (Kernel, *Decision, error) {
+	o := autoOpts{cacheDir: autotune.DefaultCacheDir()}
+	for _, opt := range options {
+		opt(&o)
+	}
+	for _, f := range o.formats {
+		af, ok := autoFormat[f]
+		if !ok {
+			return nil, nil, fmt.Errorf("symspmv: AutoKernel: format %v is not in the autotune plan space", f)
+		}
+		o.tune.Formats = append(o.tune.Formats, af)
+	}
+
+	key := autotune.Key{Fingerprint: autotune.Fingerprint(a.sss), Machine: autotune.MachineSignature()}
+	store := autotune.Store{Dir: o.cacheDir}
+	if !o.noCache {
+		// A corrupt or mismatched entry is a plain miss (the diagnostic is
+		// only worth surfacing to a log); retuning overwrites it.
+		if plan, ok, lerr := store.Load(key); ok {
+			if k, err := a.planKernel(plan); err == nil {
+				return k, &Decision{Plan: plan, CacheHit: true}, nil
+			}
+			// A cached plan that no longer builds (e.g. cache copied from
+			// an incompatible setup) falls through to a fresh search.
+		} else if lerr != nil && o.tune.Log != nil {
+			fmt.Fprintf(o.tune.Log, "%v (retuning)\n", lerr)
+		}
+	}
+
+	d, err := autotune.Tune(autotune.Problem{S: a.sss, M: a.coo, Stats: a.Stats()}, o.tune)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !o.noCache {
+		score := 0.0
+		for _, c := range d.Candidates {
+			if c.Status == "chosen" {
+				score = c.MeasuredNs
+			}
+		}
+		if serr := store.Save(key, d.Plan, score); serr != nil && o.tune.Log != nil {
+			fmt.Fprintf(o.tune.Log, "autotune: saving cache: %v\n", serr)
+		}
+	}
+	k, err := a.planKernel(d.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, d, nil
+}
+
+// planKernel builds the kernel an autotune plan describes. Reordered plans
+// build on the RCM-permuted matrix and wrap the kernel with the
+// permutation, so the returned Kernel still computes y = A·x in the
+// caller's original row order.
+func (a *Matrix) planKernel(plan autotune.Plan) (Kernel, error) {
+	f, ok := facadeFormat[plan.Format]
+	if !ok {
+		return nil, fmt.Errorf("symspmv: plan format %v unknown", plan.Format)
+	}
+	if !plan.Reorder {
+		return a.Kernel(f, Threads(plan.Threads))
+	}
+	rm, perm, err := a.ReorderRCM()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := rm.Kernel(f, Threads(plan.Threads))
+	if err != nil {
+		return nil, err
+	}
+	bk := inner.(*boundKernel)
+	n := a.sss.N
+	xp := make([]float64, n)
+	yp := make([]float64, n)
+	mul := bk.mul
+	bk.mul = func(x, y []float64) {
+		for i, pi := range perm {
+			xp[pi] = x[i]
+		}
+		mul(xp, yp)
+		for i, pi := range perm {
+			y[i] = yp[pi]
+		}
+	}
+	if md := bk.mulDot; md != nil {
+		// xᵀ·y is permutation-invariant, so the fused CG path survives.
+		bk.mulDot = func(x, y []float64) float64 {
+			for i, pi := range perm {
+				xp[pi] = x[i]
+			}
+			dot := md(xp, yp)
+			for i, pi := range perm {
+				y[i] = yp[pi]
+			}
+			return dot
+		}
+	}
+	// The SpMM path and the CSX-Sym kernel cache both assume the kernel's
+	// row order is the matrix's; neither holds under the wrap.
+	bk.mulMat = nil
+	bk.sym = nil
+	return bk, nil
+}

@@ -6,6 +6,11 @@
 //
 //	cg-solve -format sss-idx -threads 4 matrix.mtx
 //	cg-solve -format csx-sym -tol 1e-10 -maxiter 5000 matrix.mtx
+//	cg-solve -format auto matrix.mtx              # empirical autotuning
+//
+// With -format auto the library measures its way to the best format, thread
+// count, and reorder decision for this matrix on this machine, and caches
+// the plan on disk (see -tune-cache) so repeat solves skip the search.
 //
 // The right-hand side is b = A·1 (so the exact solution is the ones vector)
 // unless -rhs-ones is disabled, in which case b is a deterministic
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"strings"
 	"time"
 
@@ -32,23 +38,31 @@ var formatNames = map[string]symspmv.Format{
 	"sss-naive": symspmv.SSSNaive,
 	"sss-eff":   symspmv.SSSEffective,
 	"csx-sym":   symspmv.CSXSym,
+	"csb":       symspmv.CSB,
 }
 
 func main() {
-	format := flag.String("format", "sss-idx", "kernel format: csr|csx|bcsr|sss-naive|sss-eff|sss-idx|csx-sym")
-	threads := flag.Int("threads", 4, "worker threads")
+	format := flag.String("format", "sss-idx", "kernel format: auto|csr|csx|bcsr|csb|sss-naive|sss-eff|sss-idx|csx-sym")
+	threads := flag.Int("threads", 4, "worker threads (with -format auto: the cap on searched thread counts)")
 	tol := flag.Float64("tol", 1e-10, "relative residual target")
 	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = 10·N)")
 	rhsOnes := flag.Bool("rhs-ones", true, "b = A·1 (exact solution known); false: pseudo-random b")
 	jacobi := flag.Bool("jacobi", false, "use Jacobi (diagonal) preconditioning")
 	cache := flag.String("cache", "", "CSX-Sym kernel cache file: loaded if present, written after encoding (csx-sym only)")
+	tuneCache := flag.String("tune-cache", "", "tuning-cache directory for -format auto (default: the user cache dir; \"off\" disables)")
+	verbose := flag.Bool("v", false, "print the autotune decision report (-format auto)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: cg-solve [flags] matrix.mtx")
 	}
-	f, ok := formatNames[strings.ToLower(*format)]
-	if !ok {
-		log.Fatalf("unknown format %q", *format)
+	auto := strings.EqualFold(*format, "auto")
+	var f symspmv.Format
+	if !auto {
+		var ok bool
+		f, ok = formatNames[strings.ToLower(*format)]
+		if !ok {
+			log.Fatalf("unknown format %q", *format)
+		}
 	}
 
 	A, err := symspmv.ReadMatrixMarketFile(flag.Arg(0))
@@ -60,21 +74,47 @@ func main() {
 	t0 := time.Now()
 	var k symspmv.Kernel
 	built := "built"
-	if *cache != "" && f == symspmv.CSXSym {
-		if loaded, lerr := symspmv.LoadCSXSymKernel(*cache); lerr == nil {
-			k, built = loaded, "loaded from cache"
+	if auto {
+		opts := []symspmv.AutoOption{symspmv.AutoMaxThreads(*threads)}
+		switch *tuneCache {
+		case "":
+		case "off":
+			opts = append(opts, symspmv.AutoNoCache())
+		default:
+			opts = append(opts, symspmv.AutoCacheDir(*tuneCache))
 		}
-	}
-	if k == nil {
-		k, err = A.Kernel(f, symspmv.Threads(*threads))
+		if *verbose {
+			opts = append(opts, symspmv.AutoLog(os.Stderr))
+		}
+		var d *symspmv.Decision
+		k, d, err = symspmv.AutoKernel(A, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		built = fmt.Sprintf("autotuned (%d trials)", d.Trials)
+		if d.CacheHit {
+			built = "autotuned (tuning cache hit)"
+		}
+		if *verbose {
+			fmt.Print(d.Report())
+		}
+	} else {
 		if *cache != "" && f == symspmv.CSXSym {
-			if serr := symspmv.SaveKernel(k, *cache); serr != nil {
-				log.Printf("warning: writing cache: %v", serr)
-			} else {
-				built += ", cache written"
+			if loaded, lerr := symspmv.LoadCSXSymKernel(*cache); lerr == nil {
+				k, built = loaded, "loaded from cache"
+			}
+		}
+		if k == nil {
+			k, err = A.Kernel(f, symspmv.Threads(*threads))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *cache != "" && f == symspmv.CSXSym {
+				if serr := symspmv.SaveKernel(k, *cache); serr != nil {
+					log.Printf("warning: writing cache: %v", serr)
+				} else {
+					built += ", cache written"
+				}
 			}
 		}
 	}

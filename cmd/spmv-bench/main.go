@@ -25,6 +25,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (see -list)")
+		format   = flag.String("format", "", "\"auto\" runs the empirical autotuner on the suite (same as -exp autotune)")
 		scale    = flag.Float64("scale", 0.1, "suite scale: 1.0 = the paper's matrix sizes")
 		matrices = flag.String("matrices", "", "comma-separated subset of suite matrices (default all 12)")
 		iters    = flag.Int("iters", 128, "SpM×V operations per measurement (§V-A protocol)")
@@ -38,6 +39,13 @@ func main() {
 	if *list {
 		fmt.Println("experiments:", strings.Join(harness.ExperimentNames(), " "))
 		return
+	}
+	if *format != "" {
+		if !strings.EqualFold(*format, "auto") {
+			fmt.Fprintf(os.Stderr, "spmv-bench: -format only accepts \"auto\" (fixed formats are picked per experiment; see cg-solve for single-kernel runs)\n")
+			os.Exit(2)
+		}
+		*exp = "autotune"
 	}
 
 	cfg := harness.Config{

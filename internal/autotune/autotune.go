@@ -1,0 +1,584 @@
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bcsr"
+	"repro/internal/core"
+	"repro/internal/csb"
+	"repro/internal/csr"
+	"repro/internal/csx"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+	"repro/internal/reorder"
+)
+
+// Format enumerates the kernel configurations the autotuner searches over.
+// It mirrors the facade's format set minus unsymmetric CSX (dominated by
+// CSX-Sym on the symmetric operators this library holds) and plus CSB-Sym.
+type Format int
+
+const (
+	CSR Format = iota
+	BCSR
+	SSSNaive
+	SSSEffective
+	SSSIndexed
+	SSSAtomic
+	CSXSym
+	CSBSym
+
+	NumFormats
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case CSR:
+		return "CSR"
+	case BCSR:
+		return "BCSR"
+	case SSSNaive:
+		return "SSS-naive"
+	case SSSEffective:
+		return "SSS-effective"
+	case SSSIndexed:
+		return "SSS-indexed"
+	case SSSAtomic:
+		return "SSS-atomic"
+	case CSXSym:
+		return "CSX-Sym"
+	case CSBSym:
+		return "CSB-Sym"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// AllFormats lists the full search space.
+var AllFormats = []Format{CSR, BCSR, SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, CSXSym, CSBSym}
+
+// Plan is one executable configuration: what to build and how to run it.
+type Plan struct {
+	Format  Format
+	Threads int
+	Reorder bool // build on the RCM-permuted matrix, permuting x/y around the kernel
+}
+
+// String renders the plan compactly, e.g. "SSS-indexed p=4 (RCM)".
+func (p Plan) String() string {
+	s := fmt.Sprintf("%s p=%d", p.Format, p.Threads)
+	if p.Reorder {
+		s += " (RCM)"
+	}
+	return s
+}
+
+// Candidate reports one examined configuration for the Decision record.
+type Candidate struct {
+	Plan
+	ModeledSeconds float64 // model-stage predicted seconds per operation
+	MeasuredNs     float64 // last micro-trial ns per operation (0 = never timed)
+	PreprocNs      float64 // wall-clock build cost, amortized into the score
+	Bytes          int64   // encoded size (trialed candidates only)
+	Status         string  // "chosen", "trialed", "pruned (model)", "eliminated (round N)", "build failed: ..."
+}
+
+// Decision is the full record of one tuning run: the chosen plan plus every
+// candidate examined, why the losers lost, and how much timing was spent.
+type Decision struct {
+	Plan       Plan
+	CacheHit   bool // plan came from the tuning cache; no candidates were timed
+	Trials     int  // timed micro-trials executed (0 on a cache hit)
+	Features   Features
+	Candidates []Candidate
+	Elapsed    time.Duration
+}
+
+// Report renders a human-readable decision summary.
+func (d *Decision) Report() string {
+	var b strings.Builder
+	if d.CacheHit {
+		fmt.Fprintf(&b, "plan %v (tuning cache hit, 0 trials)\n", d.Plan)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "plan %v (%d trials in %v)\n", d.Plan, d.Trials, d.Elapsed.Round(time.Millisecond))
+	for _, c := range d.Candidates {
+		meas := "      -"
+		if c.MeasuredNs > 0 {
+			meas = fmt.Sprintf("%7.0f", c.MeasuredNs)
+		}
+		fmt.Fprintf(&b, "  %-22s model %8.1fµs  measured %sns  %s\n",
+			c.Plan.String(), c.ModeledSeconds*1e6, meas, c.Status)
+	}
+	return b.String()
+}
+
+// Problem is the matrix under tuning. S and M are required; CSR and Stats
+// are reused when the caller already has them (the harness does) and built
+// on demand otherwise.
+type Problem struct {
+	S     *core.SSS
+	M     *matrix.COO // symmetric lower-triangular storage
+	CSR   *csr.Matrix // optional: full expanded operator
+	Stats matrix.Stats
+}
+
+// Options configures the search. The zero value is ready to use.
+type Options struct {
+	// MaxThreads caps the thread-count candidates (default GOMAXPROCS).
+	MaxThreads int
+	// Formats restricts the searched formats (default AllFormats).
+	Formats []Format
+	// DisableReorder removes the RCM-reordered variants from the space.
+	DisableReorder bool
+	// TrialIters is the operation count of the first micro-trial round;
+	// each successive-halving round doubles it. Default 8.
+	TrialIters int
+	// Rounds caps the successive-halving rounds. Default 4.
+	Rounds int
+	// PruneRatio drops candidates whose modeled time exceeds the modeled
+	// best by this factor before any trial runs. Default 2.5.
+	PruneRatio float64
+	// AmortizeOps is the number of SpM×V operations the preprocessing cost
+	// (CSX-Sym encoding, BCSR block search) is spread over in the trial
+	// score — the expected lifetime of the kernel. Default 1000.
+	AmortizeOps int
+	// Platform overrides the model-stage platform (default a host-derived
+	// one from perfmodel.Host).
+	Platform *perfmodel.Platform
+	// CSXOptions overrides CSX-Sym detection parameters.
+	CSXOptions *csx.Options
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Formats) == 0 {
+		o.Formats = AllFormats
+	}
+	if o.TrialIters <= 0 {
+		o.TrialIters = 8
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 4
+	}
+	if o.PruneRatio <= 1 {
+		o.PruneRatio = 2.5
+	}
+	if o.AmortizeOps <= 0 {
+		o.AmortizeOps = 1000
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, "autotune: "+format+"\n", args...)
+	}
+}
+
+// threadCandidates is the geometric thread sweep {1, 2, 4, ...} up to and
+// always including max.
+func threadCandidates(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for p := 1; p < max; p *= 2 {
+		out = append(out, p)
+	}
+	return append(out, max)
+}
+
+// tuner carries one search's state.
+type tuner struct {
+	pr   Problem
+	o    Options
+	feat Features
+	pl   perfmodel.Platform
+	d    *Decision
+
+	pools    map[int]*parallel.Pool
+	symStats map[int][2]int64
+
+	csrBuilt *csr.Matrix // memoized expanded operator
+
+	// RCM-permuted structures, built lazily on first reordered trial.
+	rcmDone bool
+	rcmErr  error
+	perm    []int32
+	rS      *core.SSS
+	rM      *matrix.COO
+	rCSR    *csr.Matrix
+}
+
+// Tune runs the two-stage search and returns the full decision record.
+func Tune(pr Problem, o Options) (*Decision, error) {
+	if pr.S == nil || pr.M == nil {
+		return nil, errors.New("autotune: Problem needs S and M")
+	}
+	o = o.withDefaults()
+	if pr.Stats.Rows == 0 {
+		pr.Stats = matrix.ComputeStats(pr.M)
+	}
+	t := &tuner{
+		pr:       pr,
+		o:        o,
+		feat:     ExtractFeatures(pr.Stats),
+		d:        &Decision{},
+		pools:    make(map[int]*parallel.Pool),
+		symStats: make(map[int][2]int64),
+		csrBuilt: pr.CSR,
+	}
+	if o.Platform != nil {
+		t.pl = *o.Platform
+	} else {
+		t.pl = perfmodel.Host()
+	}
+	t.d.Features = t.feat
+	defer t.closePools()
+
+	start := time.Now()
+	survivors := t.modelStage()
+	if err := t.trialStage(survivors); err != nil {
+		return nil, err
+	}
+	t.d.Elapsed = time.Since(start)
+	return t.d, nil
+}
+
+func (t *tuner) pool(p int) *parallel.Pool {
+	if pl, ok := t.pools[p]; ok {
+		return pl
+	}
+	pl := parallel.NewPool(p)
+	t.pools[p] = pl
+	return pl
+}
+
+func (t *tuner) closePools() {
+	for _, pl := range t.pools {
+		pl.Close()
+	}
+	t.pools = nil
+}
+
+// modelStage prices every (format, threads) pair, records one candidate per
+// format at its modeled-best thread count, prunes the clearly hopeless
+// formats, and appends RCM variants when the x-locality model says
+// reordering could pay. Returns the indices of the surviving candidates.
+func (t *tuner) modelStage() []int {
+	ps := threadCandidates(t.o.MaxThreads)
+	for _, f := range t.o.Formats {
+		best := Candidate{Plan: Plan{Format: f}, ModeledSeconds: -1}
+		for _, p := range ps {
+			sec := t.modelCost(f, p, false).Seconds(t.pl, p)
+			if best.ModeledSeconds < 0 || sec < best.ModeledSeconds {
+				best.Plan.Threads = p
+				best.ModeledSeconds = sec
+			}
+		}
+		t.d.Candidates = append(t.d.Candidates, best)
+	}
+
+	bestSec := -1.0
+	for _, c := range t.d.Candidates {
+		if bestSec < 0 || c.ModeledSeconds < bestSec {
+			bestSec = c.ModeledSeconds
+		}
+	}
+	var survivors []int
+	for i := range t.d.Candidates {
+		c := &t.d.Candidates[i]
+		if c.ModeledSeconds > t.o.PruneRatio*bestSec {
+			c.Status = fmt.Sprintf("pruned (model: %.1fx off best)", c.ModeledSeconds/bestSec)
+			continue
+		}
+		survivors = append(survivors, i)
+	}
+	// Never trial fewer than two candidates (when the space allows): the
+	// model earns pruning, not the final call.
+	if len(survivors) < 2 && len(t.d.Candidates) > len(survivors) {
+		type pair struct {
+			i   int
+			sec float64
+		}
+		var pruned []pair
+		for i := range t.d.Candidates {
+			if t.d.Candidates[i].Status != "" {
+				pruned = append(pruned, pair{i, t.d.Candidates[i].ModeledSeconds})
+			}
+		}
+		sort.Slice(pruned, func(a, b int) bool { return pruned[a].sec < pruned[b].sec })
+		for _, pr := range pruned {
+			if len(survivors) >= 2 {
+				break
+			}
+			t.d.Candidates[pr.i].Status = ""
+			survivors = append(survivors, pr.i)
+		}
+		sort.Ints(survivors)
+	}
+
+	// RCM variants: only worth trialing when the model charges x-miss
+	// traffic at the current span (§V-D reason 1).
+	if !t.o.DisableReorder && t.pl.XMissFraction(t.feat.XSpanBytes) > 0.02 {
+		for _, i := range append([]int(nil), survivors...) {
+			c := t.d.Candidates[i]
+			rc := Candidate{Plan: Plan{Format: c.Format, Threads: c.Threads, Reorder: true}}
+			rc.ModeledSeconds = t.modelCost(c.Format, c.Threads, true).Seconds(t.pl, c.Threads)
+			t.d.Candidates = append(t.d.Candidates, rc)
+			survivors = append(survivors, len(t.d.Candidates)-1)
+		}
+	}
+	t.o.logf("model stage: %d candidates, %d survive to trials", len(t.d.Candidates), len(survivors))
+	return survivors
+}
+
+// trial is one buildable survivor during the trial stage.
+type trial struct {
+	ci    int // index into d.Candidates
+	mul   func(x, y []float64)
+	score float64
+}
+
+// trialStage builds the survivors and races them under successive halving:
+// each round doubles the measured operation count and keeps the faster
+// half, so long accurate timings are spent only on close contenders. The
+// score amortizes the build cost over AmortizeOps operations, which is what
+// lets cheap-to-build SSS beat CSX-Sym for one-shot workloads and lose for
+// long solver runs.
+func (t *tuner) trialStage(survivors []int) error {
+	var live []*trial
+	for _, ci := range survivors {
+		c := &t.d.Candidates[ci]
+		mul, bytes, preproc, err := t.build(c.Plan)
+		if err != nil {
+			c.Status = "build failed: " + err.Error()
+			continue
+		}
+		c.Bytes = bytes
+		c.PreprocNs = float64(preproc.Nanoseconds())
+		live = append(live, &trial{ci: ci, mul: mul})
+	}
+	if len(live) == 0 {
+		return errors.New("autotune: every candidate failed to build")
+	}
+
+	n := t.feat.N
+	iters := t.o.TrialIters
+	for round := 1; ; round++ {
+		for _, tr := range live {
+			c := &t.d.Candidates[tr.ci]
+			ns := measure(tr.mul, n, iters)
+			c.MeasuredNs = ns
+			c.Status = "trialed"
+			tr.score = ns + c.PreprocNs/float64(t.o.AmortizeOps)
+			t.d.Trials++
+			t.o.logf("round %d: %-22s %.0f ns/op (%d iters)", round, c.Plan, ns, iters)
+		}
+		sort.Slice(live, func(a, b int) bool { return live[a].score < live[b].score })
+		if len(live) == 1 || round >= t.o.Rounds {
+			break
+		}
+		keep := (len(live) + 1) / 2
+		for _, tr := range live[keep:] {
+			t.d.Candidates[tr.ci].Status = fmt.Sprintf("eliminated (round %d)", round)
+		}
+		live = live[:keep]
+		if len(live) == 1 {
+			break
+		}
+		iters *= 2
+	}
+	winner := &t.d.Candidates[live[0].ci]
+	winner.Status = "chosen"
+	t.d.Plan = winner.Plan
+	t.o.logf("chosen: %v (%.0f ns/op)", winner.Plan, winner.MeasuredNs)
+	return nil
+}
+
+// measure times iters operations of mul with the §V-A protocol: the input
+// and output vectors swap every iteration (defeating cache reuse of x) and
+// renormalize periodically so repeated operator application cannot
+// overflow. One untimed warm-up operation absorbs cold caches.
+func measure(mul func(x, y []float64), n, iters int) (nsPerOp float64) {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	fill(x)
+	mul(x, y)
+	x, y = y, x
+	renormalize(x)
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		mul(x, y)
+		x, y = y, x
+		if it%16 == 15 {
+			renormalize(x)
+		}
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(iters)
+}
+
+func fill(v []float64) {
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range v {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v[i] = float64(int64(state))/float64(1<<63)*0.5 + 0.25
+	}
+}
+
+func renormalize(v []float64) {
+	maxAbs := 0.0
+	for _, x := range v {
+		if x > maxAbs {
+			maxAbs = x
+		} else if -x > maxAbs {
+			maxAbs = -x
+		}
+	}
+	if maxAbs == 0 || (maxAbs > 0.5 && maxAbs < 2) {
+		return
+	}
+	s := 1 / maxAbs
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// expandedCSR memoizes the full (expanded) operator for the CSR trials.
+func (t *tuner) expandedCSR() *csr.Matrix {
+	if t.csrBuilt == nil {
+		t.csrBuilt = csr.FromCOO(t.pr.M)
+	}
+	return t.csrBuilt
+}
+
+// reordered lazily computes the RCM permutation and the permuted
+// structures, shared by every reordered trial.
+func (t *tuner) reordered() error {
+	if t.rcmDone {
+		return t.rcmErr
+	}
+	t.rcmDone = true
+	perm, err := reorder.RCM(t.pr.M)
+	if err != nil {
+		t.rcmErr = err
+		return err
+	}
+	pm, err := t.pr.M.Permute(perm)
+	if err != nil {
+		t.rcmErr = err
+		return err
+	}
+	s, err := core.FromCOO(pm)
+	if err != nil {
+		t.rcmErr = err
+		return err
+	}
+	t.perm, t.rM, t.rS = perm, pm, s
+	return nil
+}
+
+// build constructs the real kernel for one plan on a shared warm pool and
+// returns its multiply closure, encoded size, and build cost. Construction
+// panics (malformed structures) are converted to errors so one broken
+// candidate cannot abort the search.
+func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc time.Duration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mul, bytes = nil, 0
+			err = fmt.Errorf("autotune: building %v: %v", plan, r)
+		}
+	}()
+
+	s, m := t.pr.S, t.pr.M
+	if plan.Reorder {
+		if err := t.reordered(); err != nil {
+			return nil, 0, 0, fmt.Errorf("autotune: RCM: %w", err)
+		}
+		s, m = t.rS, t.rM
+	}
+	pool := t.pool(plan.Threads)
+	csxOpts := csx.DefaultOptions()
+	if t.o.CSXOptions != nil {
+		csxOpts = *t.o.CSXOptions
+	}
+
+	t0 := time.Now()
+	switch plan.Format {
+	case CSR:
+		var a *csr.Matrix
+		if plan.Reorder {
+			if t.rCSR == nil {
+				t.rCSR = csr.FromCOO(m)
+			}
+			a = t.rCSR
+		} else {
+			a = t.expandedCSR()
+		}
+		pk := csr.NewParallel(a, pool)
+		mul, bytes = pk.MulVec, a.Bytes()
+	case BCSR:
+		br, bc, aerr := bcsr.AutoTune(m, nil)
+		if aerr != nil {
+			return nil, 0, 0, aerr
+		}
+		a, ferr := bcsr.FromCOO(m, br, bc)
+		if ferr != nil {
+			return nil, 0, 0, ferr
+		}
+		pk := bcsr.NewParallel(a, pool)
+		mul, bytes = pk.MulVec, a.Bytes()
+	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic:
+		method := map[Format]core.ReductionMethod{
+			SSSNaive: core.Naive, SSSEffective: core.EffectiveRanges,
+			SSSIndexed: core.Indexed, SSSAtomic: core.Atomic,
+		}[plan.Format]
+		k := core.NewKernel(s, method, pool)
+		mul, bytes = k.MulVec, s.Bytes()
+	case CSXSym:
+		smx := csx.NewSym(s, plan.Threads, core.Indexed, csxOpts)
+		mul = func(x, y []float64) { smx.MulVec(pool, x, y) }
+		bytes = smx.Bytes()
+	case CSBSym:
+		sm, nerr := csb.NewSym(s, 0)
+		if nerr != nil {
+			return nil, 0, 0, nerr
+		}
+		k := csb.NewKernel(sm, pool)
+		mul, bytes = k.MulVec, sm.Bytes()
+	default:
+		return nil, 0, 0, fmt.Errorf("autotune: unknown format %v", plan.Format)
+	}
+	preproc = time.Since(t0)
+
+	if plan.Reorder {
+		inner, perm := mul, t.perm
+		xp := make([]float64, t.feat.N)
+		yp := make([]float64, t.feat.N)
+		mul = func(x, y []float64) {
+			for i, pi := range perm {
+				xp[pi] = x[i]
+			}
+			inner(xp, yp)
+			for i, pi := range perm {
+				y[i] = yp[pi]
+			}
+		}
+	}
+	return mul, bytes, preproc, nil
+}

@@ -1,0 +1,167 @@
+package autotune
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey() Key {
+	return Key{Fingerprint: 0xDEADBEEFCAFEF00D, Machine: MachineSignature()}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	k := testKey()
+	want := Plan{Format: SSSIndexed, Threads: 4, Reorder: true}
+	if err := st.Save(k, want, 1234.5); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Load(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Load missed a freshly saved entry")
+	}
+	if got != want {
+		t.Fatalf("Load = %v, want %v", got, want)
+	}
+
+	// Overwrite with a different plan: the newer entry wins.
+	want2 := Plan{Format: CSXSym, Threads: 8}
+	if err := st.Save(k, want2, 99); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = st.Load(k)
+	if err != nil || !ok || got != want2 {
+		t.Fatalf("after overwrite: plan %v ok %v err %v, want %v", got, ok, err, want2)
+	}
+}
+
+func TestStoreAbsentIsPlainMiss(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	p, ok, err := st.Load(testKey())
+	if ok || err != nil {
+		t.Fatalf("absent entry: plan %v ok %v err %v, want clean miss with nil error", p, ok, err)
+	}
+}
+
+// entryFile saves one valid entry and returns its path and raw bytes.
+func entryFile(t *testing.T, st Store, k Key) (string, []byte) {
+	t.Helper()
+	if err := st.Save(k, Plan{Format: CSBSym, Threads: 2}, 42); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestStoreTruncatedEntry(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	k := testKey()
+	path, data := entryFile(t, st, k)
+	// Every possible truncation point must read as a miss + error, never a
+	// panic or a bogus plan.
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, ok, err := st.Load(k)
+		if ok || err == nil {
+			t.Fatalf("truncation at %d/%d bytes: plan %v ok %v err %v, want miss + error",
+				cut, len(data), p, ok, err)
+		}
+	}
+}
+
+func TestStoreBitFlippedEntry(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	k := testKey()
+	path, data := entryFile(t, st, k)
+	for i := range data {
+		flipped := append([]byte(nil), data...)
+		flipped[i] ^= 0x40
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, ok, err := st.Load(k)
+		if ok || err == nil {
+			t.Fatalf("bit flip at byte %d: plan %v ok %v err %v, want miss + error", i, p, ok, err)
+		}
+	}
+}
+
+func TestStoreRejectsForeignKey(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	k := testKey()
+	if err := st.Save(k, Plan{Format: CSR, Threads: 1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Same file contents presented under a different key (e.g. a cache dir
+	// copied between machines): must miss with a diagnostic.
+	other := Key{Fingerprint: k.Fingerprint, Machine: k.Machine + " (other box)"}
+	if err := os.Rename(st.path(k), st.path(other)); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := st.Load(other)
+	if ok || err == nil {
+		t.Fatalf("foreign key: plan %v ok %v err %v, want miss + error", p, ok, err)
+	}
+	if !strings.Contains(err.Error(), "different matrix or machine") {
+		t.Fatalf("foreign key diagnostic = %v", err)
+	}
+}
+
+func TestStoreSaveIsAtomic(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	k := testKey()
+	if err := st.Save(k, Plan{Format: CSR, Threads: 1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings after a successful save.
+	matches, err := filepath.Glob(filepath.Join(st.Dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp files after Save: %v", matches)
+	}
+}
+
+func TestFingerprintStructureSensitivity(t *testing.T) {
+	_, s1 := poisson(t, 12)
+	_, s2 := poisson(t, 12)
+	if Fingerprint(s1) != Fingerprint(s2) {
+		t.Fatal("identical structures fingerprint differently")
+	}
+	_, s3 := poisson(t, 13)
+	if Fingerprint(s1) == Fingerprint(s3) {
+		t.Fatal("different structures share a fingerprint")
+	}
+	// Values are deliberately excluded: scaling them must not change the key.
+	for i := range s2.Val {
+		s2.Val[i] *= 3
+	}
+	for i := range s2.DValues {
+		s2.DValues[i] *= 3
+	}
+	if Fingerprint(s1) != Fingerprint(s2) {
+		t.Fatal("fingerprint depends on values, want structure-only")
+	}
+}
+
+func TestMachineSignatureStable(t *testing.T) {
+	a, b := MachineSignature(), MachineSignature()
+	if a != b || a == "" {
+		t.Fatalf("MachineSignature unstable: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "gomaxprocs=") {
+		t.Fatalf("MachineSignature missing thread budget: %q", a)
+	}
+}

@@ -70,6 +70,7 @@ var experiments = map[string]func(cfg Config, suite []*SuiteMatrix) ([]*Table, e
 	"host": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		return []*Table{HostMeasured(cfg, suite, 0)}, nil
 	},
+	"autotune": Autotune,
 	"hostcg": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		return []*Table{HostCG(cfg, suite, 0, 64)}, nil
 	},

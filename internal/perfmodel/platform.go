@@ -16,6 +16,8 @@
 // flop:byte ratios; Table II STREAM numbers).
 package perfmodel
 
+import "runtime"
+
 // Platform models one machine's memory system and cores.
 type Platform struct {
 	Name string
@@ -175,6 +177,31 @@ func Gflops(flops int64, seconds float64) float64 {
 		return 0
 	}
 	return float64(flops) / seconds / 1e9
+}
+
+// Host returns a generic platform sized to the current process: GOMAXPROCS
+// cores on one memory domain with middle-of-the-road per-core bandwidth and
+// flop rates. It exists for the autotuner's model-pruning stage, which only
+// needs candidate *ranking* on the machine actually running the trials —
+// the absolute numbers are never reported, and the timed micro-trials make
+// the final call.
+func Host() Platform {
+	p := runtime.GOMAXPROCS(0)
+	return Platform{
+		Name:                 "Host",
+		Cores:                p,
+		ThreadsMax:           p,
+		Sockets:              1,
+		ClockGHz:             3.0,
+		F1:                   2.0,
+		BW1:                  8,
+		BWSocket:             24,
+		BarrierBaseNs:        800,
+		BarrierPerThreadNs:   100,
+		LLCBytes:             32 << 20,
+		XCachePerThreadBytes: 2 << 20,
+		AtomicNs:             20,
+	}
 }
 
 // Platforms lists the paper's two machines in presentation order.

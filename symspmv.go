@@ -34,6 +34,7 @@ import (
 	"repro/internal/bcsr"
 	"repro/internal/cg"
 	"repro/internal/core"
+	"repro/internal/csb"
 	"repro/internal/csr"
 	"repro/internal/csx"
 	"repro/internal/matrix"
@@ -65,6 +66,10 @@ const (
 	// CSXSym is the compressed symmetric format with indexed reduction
 	// (highest compression; pays a preprocessing cost).
 	CSXSym
+	// CSB is the symmetric Compressed Sparse Blocks comparator (Buluç et
+	// al.): thread-count-independent reduction, atomic fallback for
+	// wide-band matrices.
+	CSB
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +91,8 @@ func (f Format) String() string {
 		return "SSS-atomic"
 	case CSXSym:
 		return "CSX-Sym"
+	case CSB:
+		return "CSB-Sym"
 	default:
 		return fmt.Sprintf("Format(%d)", int(f))
 	}
@@ -256,6 +263,15 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 		return nil, errors.New("symspmv: thread count must be positive")
 	}
 	pool := parallel.NewPool(o.threads)
+	// Release the workers on every failed construction path — including
+	// panics out of the format builders — so an error can never leak the
+	// pool's goroutines.
+	built := false
+	defer func() {
+		if !built {
+			pool.Close()
+		}
+	}()
 	k := &boundKernel{format: f, pool: pool, n: a.sss.N}
 	switch f {
 	case CSR:
@@ -270,12 +286,10 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 	case BCSR:
 		br, bc, err := bcsr.AutoTune(a.coo, nil)
 		if err != nil {
-			pool.Close()
 			return nil, err
 		}
 		bm, err := bcsr.FromCOO(a.coo, br, bc)
 		if err != nil {
-			pool.Close()
 			return nil, err
 		}
 		pk := bcsr.NewParallel(bm, pool)
@@ -299,10 +313,18 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 		k.mulDot = func(x, y []float64) float64 { return smx.MulVecDot(pool, x, y) }
 		k.bytes = smx.Bytes()
 		k.sym = smx
+	case CSB:
+		bm, err := csb.NewSym(a.sss, 0)
+		if err != nil {
+			return nil, err
+		}
+		ck := csb.NewKernel(bm, pool)
+		k.mul = ck.MulVec
+		k.bytes = bm.Bytes()
 	default:
-		pool.Close()
 		return nil, fmt.Errorf("symspmv: unknown format %v", f)
 	}
+	built = true
 	return k, nil
 }
 
