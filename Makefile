@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench ci tune-demo
+.PHONY: all build test race race-colored vet bench bench-json ci tune-demo
 
 all: build
 
@@ -13,6 +13,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-colored focuses the race detector on the conflict-free colored
+# schedule: its correctness claim is precisely "no two concurrent blocks
+# write the same element", which -race verifies directly against the real
+# interleavings.
+race-colored:
+	$(GO) test -race -run Color ./internal/color ./internal/core .
+
 vet:
 	$(GO) vet ./...
 
@@ -22,10 +29,17 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkPoolRun|BenchmarkRunPhases|BenchmarkSpinBarrier' -benchtime 200x ./internal/parallel
 	$(GO) test -run xxx -bench 'BenchmarkSpMVDispatch|BenchmarkCGFusion' -benchtime 50x .
 
-# ci is the gate for every change: vet, build, and the full test suite under
-# the race detector (the execution engine's spin barrier and phase fusion are
-# exactly the kind of code -race exists for).
-ci: vet build race
+# bench-json measures every symmetric method (matrix × threads) on this host
+# with the per-phase breakdown and writes the machine-readable record to
+# BENCH_pr3.json.
+bench-json:
+	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr3.json
+
+# ci is the gate for every change: vet (fails the build on findings), build,
+# the colored-schedule race focus, and the full test suite under the race
+# detector (the execution engine's spin barrier and phase fusion are exactly
+# the kind of code -race exists for).
+ci: vet build race-colored race
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

@@ -49,8 +49,9 @@ func AutoMaxThreads(n int) AutoOption {
 }
 
 // AutoFormats restricts the searched formats (default: CSR, BCSR, the four
-// SSS reduction methods, CSX-Sym, and CSB). CSX is not in the plan space —
-// it is dominated by CSX-Sym on the symmetric operators this library holds.
+// SSS reduction methods plus the conflict-free SSS-colored schedule,
+// CSX-Sym, and CSB). CSX is not in the plan space — it is dominated by
+// CSX-Sym on the symmetric operators this library holds.
 func AutoFormats(fs ...Format) AutoOption {
 	return func(o *autoOpts) { o.formats = fs }
 }
@@ -91,6 +92,7 @@ var autoFormat = map[Format]autotune.Format{
 	SSSAtomic:    autotune.SSSAtomic,
 	CSXSym:       autotune.CSXSym,
 	CSB:          autotune.CSBSym,
+	SSSColored:   autotune.SSSColored,
 }
 
 // facadeFormat is the inverse of autoFormat.

@@ -151,6 +151,43 @@ func TestAutoKernelFormatRestriction(t *testing.T) {
 	}
 }
 
+// TestAutoKernelColoredPlan is the "-format auto can select and report a
+// colored plan" acceptance criterion: restricted to SSS-colored the tuner
+// must produce a working colored kernel, report it as such, and keep its
+// results on the serial reference.
+func TestAutoKernelColoredPlan(t *testing.T) {
+	A, err := GeneratePoisson2D(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, d, err := AutoKernel(A, append(autoTestOptions(t),
+		AutoFormats(SSSColored), AutoReorder(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	if d.Plan.Format != autotune.SSSColored {
+		t.Fatalf("plan format %v, want SSS-colored", d.Plan.Format)
+	}
+	if k.Format() != SSSColored {
+		t.Fatalf("kernel reports format %v", k.Format())
+	}
+	n := A.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(5*i + 2))
+	}
+	want := make([]float64, n)
+	A.MulVec(x, want)
+	y := make([]float64, n)
+	k.MulVec(x, y)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-12*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("colored plan y[%d] = %g, serial %g", i, y[i], want[i])
+		}
+	}
+}
+
 // TestAutotunePlanSpaceConsistency is the cross-format consistency net: on
 // each paper-suite matrix (at small scale) every format the autotuner can
 // pick — including the RCM-reordered plan variants — must agree with the

@@ -37,12 +37,13 @@ var formatNames = map[string]symspmv.Format{
 	"sss-idx":   symspmv.SSSIndexed,
 	"sss-naive": symspmv.SSSNaive,
 	"sss-eff":   symspmv.SSSEffective,
+	"sss-color": symspmv.SSSColored,
 	"csx-sym":   symspmv.CSXSym,
 	"csb":       symspmv.CSB,
 }
 
 func main() {
-	format := flag.String("format", "sss-idx", "kernel format: auto|csr|csx|bcsr|csb|sss-naive|sss-eff|sss-idx|csx-sym")
+	format := flag.String("format", "sss-idx", "kernel format: auto|csr|csx|bcsr|csb|sss-naive|sss-eff|sss-idx|sss-color|csx-sym")
 	threads := flag.Int("threads", 4, "worker threads (with -format auto: the cap on searched thread counts)")
 	tol := flag.Float64("tol", 1e-10, "relative residual target")
 	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = 10·N)")

@@ -31,6 +31,7 @@ func main() {
 		iters    = flag.Int("iters", 128, "SpM×V operations per measurement (§V-A protocol)")
 		cgIters  = flag.Int("cg-iters", 2048, "CG iterations for fig14")
 		csvDir   = flag.String("csv", "", "also write each result table as CSV into this directory")
+		jsonPath = flag.String("json", "", "output path of the bench-json experiment (default BENCH_pr3.json)")
 		list     = flag.Bool("list", false, "list experiments and suite matrices, then exit")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 	)
@@ -52,6 +53,7 @@ func main() {
 		Scale:        *scale,
 		Iterations:   *iters,
 		CGIterations: *cgIters,
+		JSONPath:     *jsonPath,
 	}
 	if *matrices != "" {
 		cfg.Matrices = strings.Split(*matrices, ",")

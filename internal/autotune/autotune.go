@@ -34,6 +34,7 @@ const (
 	SSSAtomic
 	CSXSym
 	CSBSym
+	SSSColored
 
 	NumFormats
 )
@@ -57,13 +58,15 @@ func (f Format) String() string {
 		return "CSX-Sym"
 	case CSBSym:
 		return "CSB-Sym"
+	case SSSColored:
+		return "SSS-colored"
 	default:
 		return fmt.Sprintf("Format(%d)", int(f))
 	}
 }
 
 // AllFormats lists the full search space.
-var AllFormats = []Format{CSR, BCSR, SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, CSXSym, CSBSym}
+var AllFormats = []Format{CSR, BCSR, SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, CSXSym, CSBSym, SSSColored}
 
 // Plan is one executable configuration: what to build and how to run it.
 type Plan struct {
@@ -209,8 +212,9 @@ type tuner struct {
 	pl   perfmodel.Platform
 	d    *Decision
 
-	pools    map[int]*parallel.Pool
-	symStats map[int][2]int64
+	pools     map[int]*parallel.Pool
+	symStats  map[int][2]int64
+	colorMemo map[int]int // colored-schedule phase count per thread count
 
 	csrBuilt *csr.Matrix // memoized expanded operator
 
@@ -233,13 +237,14 @@ func Tune(pr Problem, o Options) (*Decision, error) {
 		pr.Stats = matrix.ComputeStats(pr.M)
 	}
 	t := &tuner{
-		pr:       pr,
-		o:        o,
-		feat:     ExtractFeatures(pr.Stats),
-		d:        &Decision{},
-		pools:    make(map[int]*parallel.Pool),
-		symStats: make(map[int][2]int64),
-		csrBuilt: pr.CSR,
+		pr:        pr,
+		o:         o,
+		feat:      ExtractFeatures(pr.Stats),
+		d:         &Decision{},
+		pools:     make(map[int]*parallel.Pool),
+		symStats:  make(map[int][2]int64),
+		colorMemo: make(map[int]int),
+		csrBuilt:  pr.CSR,
 	}
 	if o.Platform != nil {
 		t.pl = *o.Platform
@@ -543,10 +548,11 @@ func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc
 		}
 		pk := bcsr.NewParallel(a, pool)
 		mul, bytes = pk.MulVec, a.Bytes()
-	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic:
+	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, SSSColored:
 		method := map[Format]core.ReductionMethod{
 			SSSNaive: core.Naive, SSSEffective: core.EffectiveRanges,
 			SSSIndexed: core.Indexed, SSSAtomic: core.Atomic,
+			SSSColored: core.Colored,
 		}[plan.Format]
 		k := core.NewKernel(s, method, pool)
 		mul, bytes = k.MulVec, s.Bytes()

@@ -32,8 +32,12 @@ import (
 )
 
 const (
-	cacheMagic   = "ATNC"
-	cacheVersion = 1
+	cacheMagic = "ATNC"
+	// cacheVersion 2: the plan space gained the SSS-colored (conflict-free)
+	// format. Entries tuned against the v1 space never raced a colored plan,
+	// so replaying them would silently pin a possibly-stale decision; the
+	// bump makes every v1 entry read as a clean miss and retune.
+	cacheVersion = 2
 )
 
 // Key identifies one tuning-cache entry: the matrix structure fingerprint

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"repro/internal/color"
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 )
@@ -36,6 +37,21 @@ func (t *tuner) symbolic(p int) (entries, region int64) {
 	entries, region, _ = core.ConflictIndexDensity(t.pr.S, p)
 	t.symStats[p] = [2]int64{entries, region}
 	return entries, region
+}
+
+// colorCount returns the phase count of the conflict-free colored schedule
+// at p threads, memoized per thread count. Like symbolic, it is a purely
+// symbolic scan of the unreordered structure; reordered colored variants are
+// priced with the same count, which is conservative (RCM can only shrink
+// it) — the micro-trials make the final call.
+func (t *tuner) colorCount(p int) int {
+	if v, ok := t.colorMemo[p]; ok {
+		return v
+	}
+	s := t.pr.S
+	c := color.Colors(s.N, s.RowPtr, s.ColIdx, p, color.Options{})
+	t.colorMemo[p] = c
+	return c
 }
 
 // crossElems estimates the stored elements whose transposed write lands in
@@ -88,7 +104,7 @@ func (t *tuner) modelCost(f Format, p int, reordered bool) perfmodel.SpMVCost {
 		// 8 B value + ~1 B amortized block indexing per stored element.
 		c.MultBytes = 9*stored + 4*n
 		c.XAccesses = logical / 4 // one irregular probe per block column
-	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, CSXSym:
+	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, SSSColored, CSXSym:
 		matBytes := feat.SSSBytes
 		if f == CSXSym {
 			matBytes = int64(csxCompressionEstimate * float64(feat.SSSBytes))
@@ -101,6 +117,12 @@ func (t *tuner) modelCost(f Format, p int, reordered bool) perfmodel.SpMVCost {
 			break
 		}
 		switch f {
+		case SSSColored:
+			// Conflict-free: zero reduction bytes; y moves twice (init write
+			// + color-sweep read-modify-write) and each color beyond the
+			// multiply phase's own barrier costs one more crossing.
+			c.MultBytes = matBytes + 8*n + 24*n
+			c.ExtraBarriers = int64(t.colorCount(p))
 		case SSSNaive:
 			c.MultBytes = matBytes + 8*n + 8*int64(p)*n
 			c.RedBytes = 8*int64(p)*n + 8*n

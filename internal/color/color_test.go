@@ -1,0 +1,210 @@
+package color_test
+
+import (
+	"testing"
+
+	"repro/internal/color"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/reorder"
+)
+
+// lowerCSR generates one suite matrix at tiny scale and returns its
+// strict-lower-triangle CSR structure.
+func lowerCSR(t *testing.T, name string, scale float64) (int, []int32, []int32) {
+	t.Helper()
+	sp, err := gen.SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gen.Generate(sp, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.N, s.RowPtr, s.ColIdx
+}
+
+// writeSet recomputes block b's write set independently of the package: its
+// own row range plus every column below the range its rows reference.
+func writeSet(sc *color.Schedule, rowPtr, colIdx []int32, b int) map[int32]bool {
+	ws := make(map[int32]bool)
+	lo, hi := sc.Part.Start[b], sc.Part.End[b]
+	for r := lo; r < hi; r++ {
+		ws[r] = true
+		for j := rowPtr[r]; j < rowPtr[r+1]; j++ {
+			if c := colIdx[j]; c < lo {
+				ws[c] = true
+			}
+		}
+	}
+	return ws
+}
+
+// TestColorScheduleProperty is the coloring-validity property test: for suite
+// matrices and several thread counts, every pair of same-color blocks must
+// have disjoint write sets (verified by claiming rows in a bitmap), and the
+// per-color assignment must execute every block exactly once under its own
+// color.
+func TestColorScheduleProperty(t *testing.T) {
+	for _, name := range []string{"parabolic_fem", "consph", "offshore"} {
+		n, rowPtr, colIdx := lowerCSR(t, name, 0.004)
+		for _, p := range []int{2, 4, 8} {
+			sc := color.Build(n, rowPtr, colIdx, p, color.Options{})
+			if err := sc.Part.Validate(n); err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if sc.NumColors < 1 || sc.NumBlocks < p {
+				t.Fatalf("%s p=%d: degenerate schedule: %d colors, %d blocks",
+					name, p, sc.NumColors, sc.NumBlocks)
+			}
+
+			// Assignment: every block exactly once, under its own color.
+			seen := make([]int, sc.NumBlocks)
+			for c, perThread := range sc.Assign {
+				if len(perThread) != p {
+					t.Fatalf("%s p=%d: color %d has %d thread lists", name, p, c, len(perThread))
+				}
+				for _, blocks := range perThread {
+					for _, b := range blocks {
+						seen[b]++
+						if int(sc.Color[b]) != c {
+							t.Fatalf("%s p=%d: block %d (color %d) scheduled in phase %d",
+								name, p, b, sc.Color[b], c)
+						}
+					}
+				}
+			}
+			for b, cnt := range seen {
+				if cnt != 1 {
+					t.Fatalf("%s p=%d: block %d scheduled %d times", name, p, b, cnt)
+				}
+			}
+
+			// Write-set disjointness within each color: claim every written row
+			// in a bitmap; a second claim by a different block is a conflict the
+			// coloring was supposed to prevent.
+			claimed := make([]int32, n)
+			for c := 0; c < sc.NumColors; c++ {
+				for i := range claimed {
+					claimed[i] = -1
+				}
+				for b := 0; b < sc.NumBlocks; b++ {
+					if int(sc.Color[b]) != c {
+						continue
+					}
+					for r := range writeSet(sc, rowPtr, colIdx, b) {
+						if o := claimed[r]; o >= 0 {
+							t.Fatalf("%s p=%d color %d: blocks %d and %d both write row %d",
+								name, p, c, o, b, r)
+						}
+						claimed[r] = int32(b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColorBandedFewColors: on a narrow-band matrix the conflict graph is
+// nearly an interval graph, so the bandwidth-aware greedy coloring must stay
+// near the local clique size instead of growing with the thread count.
+func TestColorBandedFewColors(t *testing.T) {
+	const n = 4000
+	rowPtr := make([]int32, n+1)
+	var colIdx []int32
+	for r := 0; r < n; r++ {
+		rowPtr[r] = int32(len(colIdx))
+		for d := 2; d >= 1; d-- {
+			if r-d >= 0 {
+				colIdx = append(colIdx, int32(r-d))
+			}
+		}
+	}
+	rowPtr[n] = int32(len(colIdx))
+	for _, p := range []int{2, 4, 8, 16} {
+		sc := color.Build(n, rowPtr, colIdx, p, color.Options{})
+		if sc.NumColors > 3 {
+			t.Errorf("p=%d: banded matrix colored with %d colors, want ≤ 3", p, sc.NumColors)
+		}
+	}
+}
+
+// TestColorSingleThread: p = 1 serializes everything — one block, one color.
+func TestColorSingleThread(t *testing.T) {
+	n, rowPtr, colIdx := lowerCSR(t, "consph", 0.004)
+	sc := color.Build(n, rowPtr, colIdx, 1, color.Options{})
+	if sc.NumColors != 1 || sc.NumBlocks != 1 {
+		t.Fatalf("p=1: %d colors, %d blocks", sc.NumColors, sc.NumBlocks)
+	}
+	if err := sc.Part.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if got := color.Colors(n, rowPtr, colIdx, 1, color.Options{}); got != 1 {
+		t.Fatalf("Colors = %d", got)
+	}
+}
+
+// TestColorRCMShrinksColors: RCM reordering lowers the bandwidth, and the
+// color count must follow it down (the schedule's synergy with §V-D).
+func TestColorRCMShrinksColors(t *testing.T) {
+	// parabolic_fem is generated scrambled: high bandwidth, many colors.
+	sp, err := gen.SpecByName("parabolic_fem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gen.Generate(sp, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	before := color.Colors(s.N, s.RowPtr, s.ColIdx, p, color.Options{})
+
+	perm, err := reorder.RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.FromCOO(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := color.Colors(sr.N, sr.RowPtr, sr.ColIdx, p, color.Options{})
+	if after >= before {
+		t.Fatalf("RCM did not shrink the coloring: %d -> %d colors", before, after)
+	}
+}
+
+// TestColorMoreThreadsThanRows: the block clamp must keep the schedule valid
+// when p exceeds the row count (trailing blocks are empty).
+func TestColorMoreThreadsThanRows(t *testing.T) {
+	rowPtr := []int32{0, 0, 1, 2, 4, 5}
+	colIdx := []int32{0, 1, 0, 2, 3}
+	sc := color.Build(5, rowPtr, colIdx, 16, color.Options{})
+	if err := sc.Part.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, sc.NumBlocks)
+	for _, perThread := range sc.Assign {
+		for _, blocks := range perThread {
+			for _, b := range blocks {
+				seen[b]++
+			}
+		}
+	}
+	for b, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("block %d scheduled %d times", b, cnt)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+// The Colored method executes the symmetric SpM×V without any reduction
+// phase: a conflict-free block schedule (internal/color) guarantees that all
+// blocks running concurrently have disjoint write sets, so every thread
+// updates y in place. One RunPhases call chains a diagonal-init phase and
+// one phase per color through the pool's spin barrier — the whole operation
+// still costs a single coordinator handoff, like the reduction methods.
+//
+// The init phase exists because, unlike the effective-ranges multiply, a
+// colored block cannot assume y[r] is untouched when it runs: transpose
+// contributions from blocks of *earlier* colors may already have landed in
+// its rows. Seeding y[r] = d_r·x_r up front turns every later write into a
+// plain accumulation.
+
+// coloredPhases assembles the init → color₀ → … → colorₖ₋₁ phase list; with
+// dot non-nil a final phase leaves the xᵀy partials in dot[tid*DotStride],
+// computed over the same uniform chunks as vec.Dot so the combined sum is
+// bitwise identical to a dot of the finished output.
+func (k *Kernel) coloredPhases(x, y, dot []float64) []func(tid int) {
+	phases := make([]func(int), 0, k.sched.NumColors+2)
+	phases = append(phases, func(tid int) { k.diagInitT(tid, x, y) })
+	for c := 0; c < k.sched.NumColors; c++ {
+		assign := k.sched.Assign[c]
+		phases = append(phases, func(tid int) { k.colorBlocksT(assign[tid], x, y) })
+	}
+	if dot != nil {
+		phases = append(phases, func(tid int) { dot[tid*DotStride] = k.dotChunkColoredT(tid, x, y) })
+	}
+	return phases
+}
+
+// diagInitT seeds thread tid's uniform row chunk with the diagonal
+// contribution, overwriting whatever the previous operation left in y.
+func (k *Kernel) diagInitT(tid int, x, y []float64) {
+	s := k.S
+	for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
+		y[r] = s.DValues[r] * x[r]
+	}
+}
+
+// colorBlocksT executes the given same-color blocks: both the row and the
+// transpose contribution of every stored element go straight into y. The
+// schedule guarantees no concurrently-running block writes any of the same
+// elements.
+func (k *Kernel) colorBlocksT(blocks []int32, x, y []float64) {
+	s := k.S
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			xr := x[r]
+			acc := 0.0
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				c := s.ColIdx[j]
+				v := s.Val[j]
+				acc += v * x[c]
+				y[c] += v * xr
+			}
+			y[r] += acc
+		}
+	}
+}
+
+// dotChunkColoredT computes the xᵀy partial over thread tid's uniform chunk.
+func (k *Kernel) dotChunkColoredT(tid int, x, y []float64) float64 {
+	sum := 0.0
+	for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
+		sum += x[r] * y[r]
+	}
+	return sum
+}
+
+// Colors reports the number of color phases of the schedule; zero for
+// non-Colored kernels.
+func (k *Kernel) Colors() int {
+	if k.sched == nil {
+		return 0
+	}
+	return k.sched.NumColors
+}
+
+// mulMatColored runs the nv-wide SpMM over the same schedule: the colored
+// method needs no wide local vectors at all, each phase writes the
+// interleaved output directly.
+func (k *Kernel) mulMatColored(x, y []float64, nv int) {
+	phases := make([]func(int), 0, k.sched.NumColors+1)
+	phases = append(phases, func(tid int) {
+		s := k.S
+		for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
+			d := s.DValues[r]
+			ri := int(r) * nv
+			for v := 0; v < nv; v++ {
+				y[ri+v] = d * x[ri+v]
+			}
+		}
+	})
+	for c := 0; c < k.sched.NumColors; c++ {
+		assign := k.sched.Assign[c]
+		phases = append(phases, func(tid int) { k.colorBlocksMatT(assign[tid], x, y, nv) })
+	}
+	k.pool.RunPhases(phases...)
+}
+
+func (k *Kernel) colorBlocksMatT(blocks []int32, x, y []float64, nv int) {
+	s := k.S
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			ri := int(r) * nv
+			xr := x[ri : ri+nv]
+			yr := y[ri : ri+nv]
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				ci := int(s.ColIdx[j]) * nv
+				a := s.Val[j]
+				xc := x[ci : ci+nv]
+				yc := y[ci : ci+nv]
+				for v := 0; v < nv; v++ {
+					yr[v] += a * xc[v]
+					yc[v] += a * xr[v]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/parallel"
+	"repro/internal/reorder"
+)
+
+// suiteSSS generates one suite matrix at tiny scale and returns its SSS form
+// plus the RCM-reordered variant (the colored schedule's intended regime).
+func suiteSSS(t *testing.T, name string) (plain, rcm *SSS) {
+	t.Helper()
+	sp, err := gen.SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gen.Generate(sp, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := reorder.RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain, err = FromCOO(m); err != nil {
+		t.Fatal(err)
+	}
+	if rcm, err = FromCOO(rm); err != nil {
+		t.Fatal(err)
+	}
+	return plain, rcm
+}
+
+// TestColoredMatchesReferenceSuite cross-checks the colored kernel against
+// the serial SSS reference over suite matrices at several thread counts, in
+// generated row order and after RCM. Parallel execution reassociates the
+// adds, so the match is to 1e-12 relative, like the reduction methods.
+func TestColoredMatchesReferenceSuite(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, name := range []string{"parabolic_fem", "consph"} {
+		plain, rcm := suiteSSS(t, name)
+		for _, v := range []struct {
+			label string
+			s     *SSS
+		}{{"plain", plain}, {"rcm", rcm}} {
+			n := v.s.N
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := make([]float64, n)
+			v.s.MulVec(x, want)
+			for _, p := range []int{1, 2, 3, 8} {
+				pool := parallel.NewPool(p)
+				k := NewKernel(v.s, Colored, pool)
+				got := make([]float64, n)
+				// Run twice: the diagonal-init phase must fully overwrite
+				// whatever the first operation left in y.
+				k.MulVec(x, got)
+				k.MulVec(x, got)
+				if d := maxRelDiff(want, got); d > 1e-12 {
+					t.Errorf("%s/%s p=%d: colored differs from serial by %g", name, v.label, p, d)
+				}
+				pool.Close()
+			}
+		}
+	}
+}
+
+// TestColoredZeroReductionPhases asserts the acceptance criterion through the
+// phase-timing instrumentation: the colored kernel runs 1 + colors phases
+// with zero time attributed to reduction, while the indexed kernel on the
+// same matrix reports real reduction work.
+func TestColoredZeroReductionPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randomSymmetric(t, rng, 3000, 6)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	n := s.N
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, n)
+
+	kc := NewKernel(s, Colored, pool)
+	pt := kc.TimedMulVec(x, y)
+	if pt.Reduction != 0 {
+		t.Errorf("colored: %v attributed to reduction, want zero by construction", pt.Reduction)
+	}
+	if want := kc.Colors() + 1; pt.Phases != want {
+		t.Errorf("colored: %d phases, want 1+colors = %d", pt.Phases, want)
+	}
+	if pt.Compute <= 0 || pt.Wall < pt.Compute {
+		t.Errorf("colored: implausible breakdown %+v", pt)
+	}
+	if kc.Colors() < 2 {
+		t.Fatalf("random matrix colored with %d colors; the comparison is vacuous", kc.Colors())
+	}
+
+	ki := NewKernel(s, Indexed, pool)
+	pti := ki.TimedMulVec(x, y)
+	if pti.Reduction <= 0 {
+		t.Errorf("indexed: no reduction time measured (%+v)", pti)
+	}
+	if pti.Phases != 2 {
+		t.Errorf("indexed: %d phases, want 2", pti.Phases)
+	}
+	if ki.Colors() != 0 {
+		t.Errorf("indexed kernel reports %d colors", ki.Colors())
+	}
+}
+
+// TestColoredTrafficAccount: the cost account must show the eliminated
+// reduction (zero bytes, zero flops, zero working-set overhead) and price the
+// barrier chain instead.
+func TestColoredTrafficAccount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomSymmetric(t, rng, 2000, 5)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	k := NewKernel(s, Colored, pool)
+	tr := k.Traffic()
+	if tr.RedBytes != 0 || tr.RedFlops != 0 || tr.WorkingSetOverhead != 0 {
+		t.Errorf("colored traffic carries reduction terms: %+v", tr)
+	}
+	if tr.ExtraBarriers != int64(k.Colors()) {
+		t.Errorf("ExtraBarriers = %d, want colors = %d", tr.ExtraBarriers, k.Colors())
+	}
+	ki := NewKernel(s, Indexed, pool)
+	if tri := ki.Traffic(); tri.ExtraBarriers != 0 {
+		t.Errorf("indexed traffic has %d extra barriers", tri.ExtraBarriers)
+	}
+}
+
+// TestColoredRaceStress hammers the colored MulVec, the fused MulVecDot and
+// the SpMM concurrently-scheduled paths; its value is under `go test -race`,
+// where any same-color write overlap the schedule failed to prevent shows up
+// as a data race.
+func TestColoredRaceStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{257, 2000} {
+		m := randomSymmetric(t, rng, n, 6)
+		s, err := FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{4, 8} {
+			pool := parallel.NewPool(p)
+			k := NewKernel(s, Colored, pool)
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			y := make([]float64, n)
+			const nv = 3
+			xw := make([]float64, n*nv)
+			yw := make([]float64, n*nv)
+			copy(xw, x)
+			for it := 0; it < 8; it++ {
+				k.MulVec(x, y)
+				k.MulVecDot(x, y)
+				k.MulMat(xw, yw, nv)
+			}
+			pool.Close()
+		}
+	}
+}

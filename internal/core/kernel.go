@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/color"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 )
@@ -29,6 +30,12 @@ const (
 	// compare-and-swap updates on a shared accumulator (the Buluç et al.
 	// fallback strategy; see atomic.go for why it loses).
 	Atomic
+	// Colored prevents write conflicts instead of repairing them (RACE-style
+	// block coloring, internal/color): row blocks whose write sets are
+	// disjoint share a color, execution runs one spin-barrier phase per
+	// color, and every thread writes y directly — no local vectors and no
+	// reduction phase at all, at the price of colors−1 extra barriers.
+	Colored
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +49,8 @@ func (m ReductionMethod) String() string {
 		return "indexed"
 	case Atomic:
 		return "atomic"
+	case Colored:
+		return "colored"
 	default:
 		return fmt.Sprintf("ReductionMethod(%d)", int(m))
 	}
@@ -72,6 +81,11 @@ type Kernel struct {
 	acc           []uint64
 	redPartAtomic *partition.RowPartition
 
+	// Colored-method state: the conflict-free block schedule and the uniform
+	// row split used by the diagonal-init and fused-dot phases.
+	sched    *color.Schedule
+	initPart *partition.RowPartition
+
 	// dot holds the per-thread partial sums of MulVecDot, one cache line
 	// apart, allocated on first use.
 	dot []float64
@@ -97,6 +111,11 @@ func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 	if method == Atomic {
 		k.acc = make([]uint64, s.N)
 		k.redPartAtomic = partition.Uniform(s.N, p)
+		return k
+	}
+	if method == Colored {
+		k.sched = color.Build(s.N, s.RowPtr, s.ColIdx, p, color.Options{})
+		k.initPart = partition.Uniform(s.N, p)
 		return k
 	}
 	var touched [][]int32
@@ -161,6 +180,8 @@ func (k *Kernel) phases(x, y, dot []float64) []func(tid int) {
 			fin = func(tid int) { dot[tid*DotStride] = k.finalizeAtomicDotT(tid, x, y) }
 		}
 		return []func(int){mult, fin}
+	case Colored:
+		return k.coloredPhases(x, y, dot)
 	default:
 		panic("core: unknown reduction method " + k.Method.String())
 	}

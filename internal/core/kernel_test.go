@@ -83,7 +83,7 @@ func TestParallelKernelsMatchReference(t *testing.T) {
 
 		for _, p := range []int{1, 2, 3, 4, 7, 16} {
 			pool := parallel.NewPool(p)
-			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic} {
+			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic, Colored} {
 				k := NewKernel(s, method, pool)
 				got := make([]float64, n)
 				// Run twice: the second run catches stale local-vector state
@@ -115,7 +115,7 @@ func TestMulVecDotMatchesMulVec(t *testing.T) {
 		}
 		for _, p := range []int{1, 2, 4, 7} {
 			pool := parallel.NewPool(p)
-			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic} {
+			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic, Colored} {
 				k := NewKernel(s, method, pool)
 				y1 := make([]float64, n)
 				y2 := make([]float64, n)
@@ -163,7 +163,7 @@ func TestPhasesBitwiseIdenticalAcrossDispatch(t *testing.T) {
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
-	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed} {
+	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Colored} {
 		results := make([][]float64, 0, 2)
 		dots := make([]float64, 0, 2)
 		for _, mode := range []parallel.PhaseMode{parallel.PhaseSpin, parallel.PhaseChannel} {
@@ -344,7 +344,7 @@ func TestKernelMoreThreadsThanRows(t *testing.T) {
 	x := []float64{1, -2, 3, -4, 5}
 	want := make([]float64, 5)
 	m.MulVec(x, want)
-	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic} {
+	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Atomic, Colored} {
 		k := NewKernel(s, method, pool)
 		got := make([]float64, 5)
 		k.MulVec(x, got)

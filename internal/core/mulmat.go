@@ -46,6 +46,12 @@ func (k *Kernel) MulMat(x, y []float64, nv int) {
 		k.MulVec(x, y)
 		return
 	}
+	if k.Method == Colored {
+		// The colored schedule is lane-agnostic: the same conflict-free
+		// phases write the interleaved output directly, no wide locals.
+		k.mulMatColored(x, y, nv)
+		return
+	}
 	// Lazily grow the wide local vectors: LocalVectors are allocated for
 	// nv=1; MulMat keeps its own nv-wide buffers sized on first use.
 	k.ensureWideLocals(nv)

@@ -64,7 +64,7 @@ func TestKernelMulMatMatchesReference(t *testing.T) {
 			want := refMulMat(s, x, nv)
 			for _, p := range []int{1, 2, 6} {
 				pool := parallel.NewPool(p)
-				for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed} {
+				for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Colored} {
 					k := NewKernel(s, method, pool)
 					got := make([]float64, n*nv)
 					k.MulMat(x, got, nv)

@@ -1,0 +1,93 @@
+package core
+
+import "time"
+
+// PhaseKind classifies one execution phase of a kernel operation for the
+// timing breakdown: the multiply/compute work versus the reduction repairing
+// write conflicts. Barrier/handoff time is whatever wall time neither kind
+// accounts for.
+type PhaseKind int
+
+const (
+	PhaseCompute PhaseKind = iota
+	PhaseReduction
+)
+
+// PhaseTimes is the measured breakdown of one MulVec operation. Compute and
+// Reduction are critical-path sums: per phase the slowest worker's in-phase
+// time, summed over the phases of that kind. Barrier is the remaining wall
+// time — spin-barrier crossings, the coordinator handoff, and worker-start
+// skew. Wall = Compute + Reduction + Barrier.
+type PhaseTimes struct {
+	Compute   time.Duration
+	Reduction time.Duration
+	Barrier   time.Duration
+	Wall      time.Duration
+	Phases    int // phase count of the operation (colored: 1 + colors)
+}
+
+// Add accumulates o into t (for averaging over repeated operations).
+func (t *PhaseTimes) Add(o PhaseTimes) {
+	t.Compute += o.Compute
+	t.Reduction += o.Reduction
+	t.Barrier += o.Barrier
+	t.Wall += o.Wall
+	t.Phases = o.Phases
+}
+
+// phaseKinds labels the phase list assembled by phases(x, y, nil), in order.
+// Every reduction method runs exactly multiply→reduce (the Atomic finalize
+// pass counts as its reduction); the colored method runs the diagonal init
+// plus one phase per color, all compute — zero reduction work by
+// construction, which TimedMulVec makes directly observable.
+func (k *Kernel) phaseKinds() []PhaseKind {
+	if k.Method == Colored {
+		return make([]PhaseKind, k.sched.NumColors+1) // all PhaseCompute
+	}
+	return []PhaseKind{PhaseCompute, PhaseReduction}
+}
+
+// TimedMulVec computes y = A·x once while timing every phase on every
+// worker, and returns the compute/reduction/barrier breakdown. The wrapped
+// phases add two clock reads per worker per phase — negligible next to the
+// phases themselves but not free, so the plain MulVec stays unaffected.
+func (k *Kernel) TimedMulVec(x, y []float64) PhaseTimes {
+	k.checkDims(x, y)
+	phases := k.phases(x, y, nil)
+	kinds := k.phaseKinds()
+	durs := make([]int64, len(phases)*k.p)
+	wrapped := make([]func(int), len(phases))
+	for pi, ph := range phases {
+		pi, ph := pi, ph
+		wrapped[pi] = func(tid int) {
+			t0 := time.Now()
+			ph(tid)
+			durs[pi*k.p+tid] = time.Since(t0).Nanoseconds()
+		}
+	}
+	t0 := time.Now()
+	k.pool.RunPhases(wrapped...)
+	wall := time.Since(t0)
+
+	var pt PhaseTimes
+	pt.Wall = wall
+	pt.Phases = len(phases)
+	for pi := range phases {
+		crit := int64(0)
+		for tid := 0; tid < k.p; tid++ {
+			if d := durs[pi*k.p+tid]; d > crit {
+				crit = d
+			}
+		}
+		switch kinds[pi] {
+		case PhaseCompute:
+			pt.Compute += time.Duration(crit)
+		case PhaseReduction:
+			pt.Reduction += time.Duration(crit)
+		}
+	}
+	if worked := pt.Compute + pt.Reduction; wall > worked {
+		pt.Barrier = wall - worked
+	}
+	return pt
+}

@@ -31,6 +31,12 @@ type Traffic struct {
 	// iteration (Atomic method only); the platform model prices them by
 	// latency, not bandwidth.
 	AtomicOps int64
+
+	// ExtraBarriers counts barrier crossings beyond the one closing each
+	// priced phase (Colored method only: the colors−1 additional phase
+	// boundaries of the conflict-free schedule, plus the init→color one).
+	// The platform model prices them by Platform.BarrierSeconds.
+	ExtraBarriers int64
 }
 
 // TotalBytes reports the summed traffic of both phases.
@@ -96,6 +102,17 @@ func (k *Kernel) Traffic() Traffic {
 		t.RedFlops = 0
 		t.WorkingSetOverhead = 8 * n
 		t.AtomicOps = nnzLower + n
+	case Colored:
+		// Conflict prevention: zero reduction traffic and zero working-set
+		// overhead. y moves twice through the multiply — written by the
+		// diagonal-init pass, then read-modify-written by the color sweep —
+		// and the phase chain costs one barrier per color on top of the
+		// multiply phase's own closing barrier.
+		t.MultVectorBytes = xBytes + yBytes + 2*yBytes
+		t.RedBytes = 0
+		t.RedFlops = 0
+		t.WorkingSetOverhead = 0
+		t.ExtraBarriers = int64(k.sched.NumColors)
 	}
 	return t
 }

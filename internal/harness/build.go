@@ -29,6 +29,10 @@ const (
 	FormatSSSNaive
 	FormatSSSEffective
 	FormatSSSIndexed
+	// FormatSSSColored is the conflict-free colored schedule: one phase per
+	// color, direct y writes, no reduction phase (the prevention-based
+	// fourth method beside the paper's three).
+	FormatSSSColored
 	// FormatCSXSym is CSX-Sym with the indexed reduction (Fig. 11).
 	FormatCSXSym
 
@@ -50,6 +54,8 @@ func (f Format) String() string {
 		return "SSS-effective"
 	case FormatSSSIndexed:
 		return "SSS-idx"
+	case FormatSSSColored:
+		return "SSS-colored"
 	case FormatCSXSym:
 		return "CSX-Sym"
 	default:
@@ -57,11 +63,12 @@ func (f Format) String() string {
 	}
 }
 
-// Symmetric reports whether the format exploits symmetry (has a reduction
-// phase when multithreaded).
+// Symmetric reports whether the format exploits symmetry. All symmetric
+// formats except SSS-colored repair write conflicts with a reduction phase;
+// the colored schedule prevents them instead and has none.
 func (f Format) Symmetric() bool {
 	switch f {
-	case FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatCSXSym:
+	case FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatSSSColored, FormatCSXSym:
 		return true
 	}
 	return false
@@ -131,11 +138,12 @@ func Build(sm *SuiteMatrix, f Format, pool *parallel.Pool) *Built {
 		b.Mul = pk.MulVec
 		b.Cost = perfmodel.BCSRCost(a, sm.CSR)
 		b.Bytes = a.Bytes()
-	case FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed:
+	case FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatSSSColored:
 		method := map[Format]core.ReductionMethod{
 			FormatSSSNaive:     core.Naive,
 			FormatSSSEffective: core.EffectiveRanges,
 			FormatSSSIndexed:   core.Indexed,
+			FormatSSSColored:   core.Colored,
 		}[f]
 		k := core.NewKernel(sm.S, method, pool)
 		b.Mul = k.MulVec
@@ -158,7 +166,7 @@ func Build(sm *SuiteMatrix, f Format, pool *parallel.Pool) *Built {
 // AllFormats lists every kernel configuration in presentation order.
 var AllFormats = []Format{
 	FormatCSR, FormatBCSR, FormatCSX,
-	FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatCSXSym,
+	FormatSSSNaive, FormatSSSEffective, FormatSSSIndexed, FormatSSSColored, FormatCSXSym,
 }
 
 // MeasureSpMV runs the §V-A measurement protocol on the host: iters

@@ -1,0 +1,241 @@
+package harness
+
+// The colored-schedule experiments extend the paper's evaluation with the
+// prevention-based fourth method: "colored" places SSS-colored beside the
+// three reduction methods of Fig. 9 and quantifies its RCM synergy (the
+// coloring collapses with the bandwidth), "phases" measures the per-phase
+// time breakdown of every symmetric method on the host — making the colored
+// schedule's zero reduction time directly observable — and "bench-json"
+// dumps the measured record machine-readably.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/color"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+)
+
+// ColoredSpeedup renders the modeled speedup of the colored schedule beside
+// the paper's three reduction methods (the Fig. 9 set), per platform.
+func ColoredSpeedup(cfg Config, suite []*SuiteMatrix) []*Table {
+	formats := []Format{FormatCSR, FormatSSSNaive, FormatSSSEffective,
+		FormatSSSIndexed, FormatSSSColored}
+	return speedupTables(cfg, suite, formats, "Colored")
+}
+
+// ColoredRCM quantifies the coloring's synergy with RCM reordering: the
+// number of colors tracks the matrix bandwidth, so reordering shrinks the
+// barrier chain. Host Gflop/s of the colored kernel before/after completes
+// the picture.
+func ColoredRCM(cfg Config, suite []*SuiteMatrix) (*Table, error) {
+	cfg = cfg.withDefaults()
+	p := parallel.DefaultThreads()
+	// Colors are counted at a representative parallel schedule width: a
+	// single-thread host would otherwise report the trivial 1-color schedule
+	// and hide the bandwidth↔colors synergy the table exists to show.
+	pc := p
+	if pc < 8 {
+		pc = 8
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Colored × RCM — bandwidth, colors and host Gflop/s at %d thread(s)", p),
+		Note:  fmt.Sprintf("colors counted for the %d-thread schedule", pc),
+		Header: []string{"Matrix", "bw", "colors", "Gflop/s",
+			"bw(RCM)", "colors(RCM)", "Gflop/s(RCM)"},
+	}
+	pool := parallel.NewPool(p)
+	defer pool.Close()
+	for _, sm := range suite {
+		cfg.logf("colored-rcm: %s", sm.Spec.Name)
+		rm, err := sm.Reordered()
+		if err != nil {
+			return nil, err
+		}
+		row := []string{sm.Spec.Name}
+		for _, m := range []*SuiteMatrix{sm, rm} {
+			c := color.Colors(m.S.N, m.S.RowPtr, m.S.ColIdx, pc, color.Options{})
+			b := Build(m, FormatSSSColored, pool)
+			per := MeasureSpMV(b.Mul, m.S.N, cfg.Iterations)
+			row = append(row,
+				fmt.Sprintf("%d", m.Stats.Bandwidth),
+				fmt.Sprintf("%d", c),
+				fmt.Sprintf("%.3f", perfmodel.Gflops(b.Cost.UsefulFlops, per.Seconds())))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// phaseMethods are the symmetric kernel methods the phase-timing experiments
+// compare, in presentation order.
+var phaseMethods = []core.ReductionMethod{
+	core.Naive, core.EffectiveRanges, core.Indexed, core.Colored,
+}
+
+// measurePhases runs iters instrumented operations of the method on sm at p
+// threads (vector-swapping, like MeasureSpMV) and returns the accumulated
+// phase breakdown, the host Gflop/s implied by its wall time, and the color
+// count (zero for the reduction methods).
+func measurePhases(sm *SuiteMatrix, method core.ReductionMethod, pool *parallel.Pool, iters int) (core.PhaseTimes, float64, int) {
+	k := core.NewKernel(sm.S, method, pool)
+	n := sm.S.N
+	x := make([]float64, n)
+	y := make([]float64, n)
+	rngFill(x)
+	var pt core.PhaseTimes
+	for it := 0; it < iters; it++ {
+		pt.Add(k.TimedMulVec(x, y))
+		x, y = y, x
+		if it%16 == 15 {
+			renormalize(x)
+		}
+	}
+	flops := perfmodel.SSSCost(k).UsefulFlops
+	gflops := perfmodel.Gflops(flops, pt.Wall.Seconds()/float64(iters))
+	return pt, gflops, k.Colors()
+}
+
+// PhaseBreakdown is the host-measured counterpart of Fig. 10, extended with
+// the colored schedule: per matrix and method, the compute, reduction and
+// barrier/handoff time per operation. The colored rows read zero in the
+// reduction column by construction — that column is the work the schedule
+// eliminates.
+func PhaseBreakdown(cfg Config, suite []*SuiteMatrix) *Table {
+	cfg = cfg.withDefaults()
+	p := parallel.DefaultThreads()
+	t := &Table{
+		Title: fmt.Sprintf("Phase breakdown — host-measured at %d thread(s), %d iterations (µs/op)",
+			p, cfg.Iterations),
+		Header: []string{"Matrix", "Method", "colors", "compute", "reduction", "barrier", "wall"},
+	}
+	pool := parallel.NewPool(p)
+	defer pool.Close()
+	us := func(total int64) string {
+		return fmt.Sprintf("%.1f", float64(total)/float64(cfg.Iterations)/1e3)
+	}
+	for _, sm := range suite {
+		for _, m := range phaseMethods {
+			cfg.logf("phases/%s: %v", sm.Spec.Name, m)
+			pt, _, colors := measurePhases(sm, m, pool, cfg.Iterations)
+			t.Rows = append(t.Rows, []string{
+				sm.Spec.Name, m.String(), fmt.Sprintf("%d", colors),
+				us(pt.Compute.Nanoseconds()), us(pt.Reduction.Nanoseconds()),
+				us(pt.Barrier.Nanoseconds()), us(pt.Wall.Nanoseconds()),
+			})
+		}
+	}
+	return t
+}
+
+// benchRecord is one (matrix, method, threads) measurement of the
+// machine-readable benchmark dump.
+type benchRecord struct {
+	Matrix      string  `json:"matrix"`
+	Method      string  `json:"method"`
+	Threads     int     `json:"threads"`
+	GflopsHost  float64 `json:"gflops_host"`
+	Colors      int     `json:"colors"`
+	ComputeNs   int64   `json:"compute_ns"`
+	ReductionNs int64   `json:"reduction_ns"`
+	BarrierNs   int64   `json:"barrier_ns"`
+}
+
+// benchFile is the top-level BENCH_pr3.json document.
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	Scale      float64       `json:"scale"`
+	Iterations int           `json:"iterations"`
+	Threads    []int         `json:"threads"`
+	Records    []benchRecord `json:"records"`
+}
+
+// benchThreads is the sweep of the bench-json experiment: {1, 2, 4} plus the
+// machine's GOMAXPROCS when larger, deduplicated and capped at GOMAXPROCS.
+func benchThreads() []int {
+	maxp := runtime.GOMAXPROCS(0)
+	set := map[int]bool{}
+	for _, p := range []int{1, 2, 4, maxp} {
+		if p >= 1 && p <= maxp {
+			set[p] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BenchJSON measures every symmetric method over the thread sweep on the
+// host, writes the machine-readable record to cfg.JSONPath (default
+// "BENCH_pr3.json"), and returns a summary table. Per-operation phase nanos
+// come from the instrumented TimedMulVec loop, whose wall time also yields
+// the Gflop/s (the two clock reads per worker per phase are included —
+// identical across methods, so comparisons stay fair).
+func BenchJSON(cfg Config, suite []*SuiteMatrix) (*Table, error) {
+	cfg = cfg.withDefaults()
+	path := cfg.JSONPath
+	if path == "" {
+		path = "BENCH_pr3.json"
+	}
+	threads := benchThreads()
+	doc := benchFile{
+		Schema:     "symspmv-bench/1",
+		Scale:      cfg.Scale,
+		Iterations: cfg.Iterations,
+		Threads:    threads,
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("bench-json — host-measured record written to %s", path),
+		Header: []string{"Matrix", "Method", "p", "Gflop/s", "colors", "compute%", "reduction%", "barrier%"},
+	}
+	for _, p := range threads {
+		pool := parallel.NewPool(p)
+		for _, sm := range suite {
+			for _, m := range phaseMethods {
+				cfg.logf("bench-json/p=%d/%s: %v", p, sm.Spec.Name, m)
+				pt, gflops, colors := measurePhases(sm, m, pool, cfg.Iterations)
+				iters := int64(cfg.Iterations)
+				rec := benchRecord{
+					Matrix:      sm.Spec.Name,
+					Method:      m.String(),
+					Threads:     p,
+					GflopsHost:  gflops,
+					Colors:      colors,
+					ComputeNs:   pt.Compute.Nanoseconds() / iters,
+					ReductionNs: pt.Reduction.Nanoseconds() / iters,
+					BarrierNs:   pt.Barrier.Nanoseconds() / iters,
+				}
+				doc.Records = append(doc.Records, rec)
+				wall := float64(pt.Wall.Nanoseconds())
+				pct := func(ns int64) string {
+					if wall == 0 {
+						return "0"
+					}
+					return fmt.Sprintf("%.0f", 100*float64(ns*iters)/wall)
+				}
+				t.Rows = append(t.Rows, []string{
+					sm.Spec.Name, m.String(), fmt.Sprintf("%d", p),
+					fmt.Sprintf("%.3f", gflops), fmt.Sprintf("%d", colors),
+					pct(rec.ComputeNs), pct(rec.ReductionNs), pct(rec.BarrierNs),
+				})
+			}
+		}
+		pool.Close()
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

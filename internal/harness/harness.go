@@ -43,6 +43,9 @@ type Config struct {
 	Threads []int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// JSONPath, when non-empty, is where the "bench-json" experiment writes
+	// its machine-readable record (default "BENCH_pr3.json").
+	JSONPath string
 }
 
 func (c Config) withDefaults() Config {

@@ -84,6 +84,17 @@ func TestSymmetricFormatsReportReduction(t *testing.T) {
 	for _, f := range AllFormats {
 		b := Build(suite[0], f, pool)
 		hasRed := b.Cost.RedBytes > 0
+		if f == FormatSSSColored {
+			// The colored schedule prevents conflicts instead of repairing
+			// them: zero reduction traffic is its defining property.
+			if hasRed {
+				t.Errorf("%v: colored schedule accounts reduction bytes (%d)", f, b.Cost.RedBytes)
+			}
+			if b.Cost.ExtraBarriers <= 0 {
+				t.Errorf("%v: colored schedule reports no extra barriers", f)
+			}
+			continue
+		}
 		if hasRed != f.Symmetric() {
 			t.Errorf("%v: reduction bytes present=%v, symmetric=%v", f, hasRed, f.Symmetric())
 		}
@@ -127,7 +138,7 @@ func TestExperimentRegistry(t *testing.T) {
 
 func TestRunFastExperiments(t *testing.T) {
 	cfg := tinyCfg()
-	for _, exp := range []string{"table1", "fig4", "fig5", "fig9", "fig10", "fig12", "preproc"} {
+	for _, exp := range []string{"table1", "fig4", "fig5", "fig9", "fig10", "fig12", "preproc", "colored", "phases"} {
 		var sb strings.Builder
 		if err := Run(exp, cfg, &sb); err != nil {
 			t.Fatalf("%s: %v", exp, err)

@@ -67,6 +67,24 @@ var experiments = map[string]func(cfg Config, suite []*SuiteMatrix) ([]*Table, e
 	"ablation-baselines": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		return []*Table{AblationBaselines(cfg, suite)}, nil
 	},
+	"colored": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
+		tables := ColoredSpeedup(cfg, suite)
+		rcm, err := ColoredRCM(cfg, suite)
+		if err != nil {
+			return nil, err
+		}
+		return append(tables, rcm), nil
+	},
+	"phases": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
+		return []*Table{PhaseBreakdown(cfg, suite)}, nil
+	},
+	"bench-json": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
+		t, err := BenchJSON(cfg, suite)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	},
 	"host": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		return []*Table{HostMeasured(cfg, suite, 0)}, nil
 	},
@@ -91,6 +109,7 @@ var paperOrder = []string{
 	"table1", "table2", "fig4", "fig5", "fig9", "fig10", "fig11", "fig12",
 	"table3", "fig13", "preproc", "fig14",
 	"ablation-reduction", "ablation-csx", "ablation-baselines",
+	"colored", "phases",
 }
 
 // Run executes one experiment (or "all") against a freshly loaded suite,

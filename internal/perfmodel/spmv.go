@@ -35,6 +35,13 @@ type SpMVCost struct {
 	// AtomicOps counts lock-prefixed updates per operation (Atomic ablation
 	// method only); priced by Platform.AtomicNs, divided across threads.
 	AtomicOps int64
+
+	// ExtraBarriers counts barrier crossings beyond the one ending each
+	// priced phase. The colored (conflict-free) schedule runs 1 + colors
+	// phases with no reduction at all, so it carries colors extra barriers
+	// on top of the multiply phase's own — the traffic-free cost the model
+	// weighs against eliminating RedBytes entirely.
+	ExtraBarriers int64
 }
 
 // xExtraBytes is the modeled extra traffic from x accesses missing the
@@ -52,6 +59,7 @@ func (c SpMVCost) Seconds(pl Platform, p int) float64 {
 	if c.RedBytes > 0 || c.RedFlops > 0 {
 		t += pl.PhaseSeconds(p, c.RedFlops, c.RedBytes)
 	}
+	t += float64(c.ExtraBarriers) * pl.BarrierSeconds(p)
 	return t
 }
 
@@ -213,15 +221,16 @@ func SSSCost(k *core.Kernel) SpMVCost {
 	t := k.Traffic()
 	acc, span := symXProfile(k.S)
 	return SpMVCost{
-		Name:        "SSS-" + k.Method.String(),
-		MultFlops:   t.MultFlops,
-		MultBytes:   t.MultMatrixBytes + t.MultVectorBytes,
-		RedFlops:    t.RedFlops,
-		RedBytes:    t.RedBytes,
-		UsefulFlops: t.MultFlops,
-		XAccesses:   acc,
-		XSpanBytes:  span,
-		AtomicOps:   t.AtomicOps,
+		Name:          "SSS-" + k.Method.String(),
+		MultFlops:     t.MultFlops,
+		MultBytes:     t.MultMatrixBytes + t.MultVectorBytes,
+		RedFlops:      t.RedFlops,
+		RedBytes:      t.RedBytes,
+		UsefulFlops:   t.MultFlops,
+		XAccesses:     acc,
+		XSpanBytes:    span,
+		AtomicOps:     t.AtomicOps,
+		ExtraBarriers: t.ExtraBarriers,
 	}
 }
 

@@ -70,7 +70,7 @@ func TestAllKernelFormatsMatchReference(t *testing.T) {
 	want := make([]float64, n)
 	A.MulVec(x, want)
 
-	for _, f := range []Format{CSR, CSX, BCSR, SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, CSXSym} {
+	for _, f := range []Format{CSR, CSX, BCSR, SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, SSSColored, CSXSym} {
 		for _, threads := range []int{1, 4} {
 			k, err := A.Kernel(f, Threads(threads))
 			if err != nil {
@@ -395,7 +395,7 @@ func TestMulMatFacade(t *testing.T) {
 			want[i*nv+v] = yc[i]
 		}
 	}
-	for _, f := range []Format{CSR, SSSIndexed, SSSNaive, SSSEffective} {
+	for _, f := range []Format{CSR, SSSIndexed, SSSNaive, SSSEffective, SSSColored} {
 		k, err := A.Kernel(f, Threads(3))
 		if err != nil {
 			t.Fatal(err)
