@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored vet bench bench-json ci tune-demo
+.PHONY: all build test race race-colored vet bench bench-json ci tune-demo telemetry-smoke
 
 all: build
 
@@ -35,11 +35,17 @@ bench:
 bench-json:
 	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr3.json
 
+# telemetry-smoke runs cg-solve with the metrics endpoint and trace writer
+# enabled, scrapes /metrics for the kernel phase histograms, and validates
+# the Chrome trace parses — the observability layer end to end.
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
+
 # ci is the gate for every change: vet (fails the build on findings), build,
-# the colored-schedule race focus, and the full test suite under the race
+# the colored-schedule race focus, the full test suite under the race
 # detector (the execution engine's spin barrier and phase fusion are exactly
-# the kind of code -race exists for).
-ci: vet build race-colored race
+# the kind of code -race exists for), and the telemetry smoke.
+ci: vet build race-colored race telemetry-smoke
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

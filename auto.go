@@ -82,6 +82,23 @@ func AutoLog(w io.Writer) AutoOption {
 	return func(o *autoOpts) { o.tune.Log = w }
 }
 
+// TuneCacheStats reports process-wide tuning-cache lookup outcomes. A plain
+// miss means no entry existed for the key; a corrupt miss means an entry
+// existed but was unreadable (torn write, bit flip, version skew, or keyed
+// to a different matrix/machine) and was retuned over.
+type TuneCacheStats struct {
+	Hits          int64
+	Misses        int64
+	CorruptMisses int64
+}
+
+// AutoCacheStats reports the tuning-cache lookup outcomes accumulated by
+// every AutoKernel call in this process.
+func AutoCacheStats() TuneCacheStats {
+	h, m, c := autotune.CacheStats()
+	return TuneCacheStats{Hits: h, Misses: m, CorruptMisses: c}
+}
+
 // autoFormat maps facade formats into the autotuner's plan space.
 var autoFormat = map[Format]autotune.Format{
 	CSR:          autotune.CSR,

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	symspmv "repro"
+	"repro/internal/obs"
 )
 
 var formatNames = map[string]symspmv.Format{
@@ -52,10 +53,32 @@ func main() {
 	cache := flag.String("cache", "", "CSX-Sym kernel cache file: loaded if present, written after encoding (csx-sym only)")
 	tuneCache := flag.String("tune-cache", "", "tuning-cache directory for -format auto (default: the user cache dir; \"off\" disables)")
 	verbose := flag.Bool("v", false, "print the autotune decision report (-format auto)")
+	metricsAddr := flag.String("metrics-addr", "", "serve telemetry on this address (/metrics, /debug/vars, /debug/pprof); enables sampling")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the solve (perfetto-loadable); enables sampling")
+	linger := flag.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the solve")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: cg-solve [flags] matrix.mtx")
 	}
+	if *metricsAddr != "" || *traceOut != "" {
+		obs.SetSampling(true)
+	}
+	if *traceOut != "" {
+		// One lane per worker plus the coordinator; 16k spans per lane keeps
+		// the newest few thousand iterations of even a small system.
+		obs.EnableTracing(*threads, 1<<14)
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var serr error
+		srv, serr = obs.StartServer(*metricsAddr)
+		if serr != nil {
+			log.Fatalf("starting telemetry server: %v", serr)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
+
 	auto := strings.EqualFold(*format, "auto")
 	var f symspmv.Format
 	if !auto {
@@ -98,6 +121,9 @@ func main() {
 		}
 		if *verbose {
 			fmt.Print(d.Report())
+			cs := symspmv.AutoCacheStats()
+			fmt.Printf("tuning cache: hits=%d plain-misses=%d corrupt-misses=%d\n",
+				cs.Hits, cs.Misses, cs.CorruptMisses)
 		}
 	} else {
 		if *cache != "" && f == symspmv.CSXSym {
@@ -156,5 +182,23 @@ func main() {
 			}
 		}
 		fmt.Printf("check:  max |x_i - 1| = %.2e\n", worst)
+	}
+
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			log.Fatalf("creating trace file: %v", ferr)
+		}
+		if werr := obs.WriteTrace(f); werr != nil {
+			log.Fatalf("writing trace: %v", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatalf("closing trace file: %v", cerr)
+		}
+		fmt.Printf("trace:  %s (load in https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering %v for scrapes...\n", *linger)
+		time.Sleep(*linger)
 	}
 }

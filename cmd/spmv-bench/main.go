@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,8 +36,28 @@ func main() {
 		jsonPath = flag.String("json", "", "output path of the bench-json experiment (default BENCH_pr3.json)")
 		list     = flag.Bool("list", false, "list experiments and suite matrices, then exit")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve telemetry on this address (/metrics, /debug/vars, /debug/pprof); enables sampling")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (perfetto-loadable); enables sampling")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" || *traceOut != "" {
+		obs.SetSampling(true)
+	}
+	if *traceOut != "" {
+		// Host experiments spin pools of up to 24 workers; 32 lanes covers
+		// every thread count the harness sweeps, plus the coordinator.
+		obs.EnableTracing(32, 1<<13)
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.StartServer(*metricsAddr)
+		if err != nil {
+			log.Fatalf("starting telemetry server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(harness.ExperimentNames(), " "))
@@ -68,5 +90,18 @@ func main() {
 	if err := harness.Run(*exp, cfg, os.Stdout, extra...); err != nil {
 		fmt.Fprintln(os.Stderr, "spmv-bench:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("creating trace file: %v", err)
+		}
+		if err := obs.WriteTrace(f); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing trace file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (load in https://ui.perfetto.dev)\n", *traceOut)
 	}
 }

@@ -15,9 +15,18 @@ import (
 	"repro/internal/csr"
 	"repro/internal/csx"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
 	"repro/internal/reorder"
+)
+
+// Tuner telemetry: completed searches and individual timed trials.
+var (
+	tuneDecisions = obs.NewCounter("symspmv_autotune_decisions_total",
+		"Completed autotune searches.")
+	tuneTrials = obs.NewCounter("symspmv_autotune_trials_total",
+		"Individual timed candidate trials run by the autotuner.")
 )
 
 // Format enumerates the kernel configurations the autotuner searches over.
@@ -260,6 +269,7 @@ func Tune(pr Problem, o Options) (*Decision, error) {
 		return nil, err
 	}
 	t.d.Elapsed = time.Since(start)
+	tuneDecisions.Inc()
 	return t.d, nil
 }
 
@@ -391,6 +401,7 @@ func (t *tuner) trialStage(survivors []int) error {
 			c.Status = "trialed"
 			tr.score = ns + c.PreprocNs/float64(t.o.AmortizeOps)
 			t.d.Trials++
+			tuneTrials.Inc()
 			t.o.logf("round %d: %-22s %.0f ns/op (%d iters)", round, c.Plan, ns, iters)
 		}
 		sort.Slice(live, func(a, b int) bool { return live[a].score < live[b].score })

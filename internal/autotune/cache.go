@@ -29,7 +29,27 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// Cache request outcomes, split three ways: a hit replays a stored plan, a
+// plain miss means no entry existed, and a corrupt miss means an entry
+// existed but was unreadable (torn write, bit flip, version skew, or keyed
+// to a different matrix/machine) — the outcome worth alerting on.
+var (
+	cacheHits = obs.NewCounter("symspmv_autotune_cache_requests_total",
+		"Tuning-cache lookups by result.", "result", "hit")
+	cacheMisses = obs.NewCounter("symspmv_autotune_cache_requests_total",
+		"Tuning-cache lookups by result.", "result", "miss")
+	cacheCorrupt = obs.NewCounter("symspmv_autotune_cache_requests_total",
+		"Tuning-cache lookups by result.", "result", "corrupt")
+)
+
+// CacheStats reports the process-wide tuning-cache lookup outcomes: hits,
+// plain misses (entry absent), and corrupt misses (entry unreadable).
+func CacheStats() (hits, misses, corrupt int64) {
+	return cacheHits.Value(), cacheMisses.Value(), cacheCorrupt.Value()
+}
 
 const (
 	cacheMagic = "ATNC"
@@ -162,13 +182,16 @@ func (st Store) Save(k Key, p Plan, scoreNs float64) error {
 func (st Store) Load(k Key) (p Plan, ok bool, err error) {
 	f, err := os.Open(st.path(k))
 	if err != nil {
+		cacheMisses.Inc()
 		return Plan{}, false, nil // absent: plain miss
 	}
 	defer f.Close()
 	p, err = readEntry(bufio.NewReader(f), k)
 	if err != nil {
+		cacheCorrupt.Inc()
 		return Plan{}, false, fmt.Errorf("autotune: cache %s: %w", st.path(k), err)
 	}
+	cacheHits.Inc()
 	return p, true, nil
 }
 

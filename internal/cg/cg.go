@@ -9,8 +9,28 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/vec"
+)
+
+// Solver telemetry. Counters run unconditionally (one atomic add per solve /
+// per iteration, invisible next to an SpM×V); the histogram, residual gauge,
+// and coordinator-lane trace spans are recorded only while obs sampling is
+// enabled.
+var (
+	cgSolves = obs.NewCounter("symspmv_cg_solves_total",
+		"CG/PCG solves started.")
+	cgIterations = obs.NewCounter("symspmv_cg_iterations_total",
+		"CG/PCG iterations executed.")
+	cgIterSeconds = obs.NewHistogram("symspmv_cg_iteration_seconds",
+		"Wall time per sampled CG iteration.", obs.DurationBuckets)
+	cgResidual = obs.NewGauge("symspmv_cg_residual",
+		"Relative residual after the most recent sampled CG iteration.")
+
+	cgNameIter = obs.RegisterName("cg/iteration")
+	cgNameSpMV = obs.RegisterName("cg/spmv")
+	cgNameVec  = obs.RegisterName("cg/vector")
 )
 
 // MulVecer is the SpM×V interface CG consumes: every storage format in the
@@ -92,6 +112,8 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 		opts.Tol = 1e-10
 	}
 	fused, _ := a.(MulVecDotter)
+	cgSolves.Inc()
+	sampled := obs.SamplingEnabled()
 
 	r := make([]float64, n)
 	p := make([]float64, n)
@@ -119,16 +141,26 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 			res.Converged = true
 			break
 		}
+		var itStart, itMid int64
+		if sampled {
+			itStart = obs.Now()
+		}
 		var pap float64
 		if fused != nil {
 			t0 = time.Now()
 			pap = fused.MulVecDot(p, ap)
 			mark(&res.SpMVTime, t0)
+			if sampled {
+				itMid = obs.Now()
+			}
 			t0 = time.Now()
 		} else {
 			t0 = time.Now()
 			a.MulVec(p, ap)
 			mark(&res.SpMVTime, t0)
+			if sampled {
+				itMid = obs.Now()
+			}
 			t0 = time.Now()
 			pap = vec.Dot(pool, p, ap)
 		}
@@ -142,6 +174,15 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 		rr = vec.CGStep(pool, alpha, rr, p, ap, x, r)
 		mark(&res.VectorTime, t0)
 		res.Iterations++
+		cgIterations.Inc()
+		if sampled {
+			itEnd := obs.Now()
+			obs.TraceSpan(obs.LaneCoordinator, cgNameSpMV, itStart, itMid)
+			obs.TraceSpan(obs.LaneCoordinator, cgNameVec, itMid, itEnd)
+			obs.TraceSpan(obs.LaneCoordinator, cgNameIter, itStart, itEnd)
+			cgIterSeconds.Observe(float64(itEnd-itStart) / 1e9)
+			cgResidual.Set(math.Sqrt(math.Max(rr, 0)) / normB)
+		}
 	}
 	if rr <= tol2 {
 		res.Converged = true

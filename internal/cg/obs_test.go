@@ -1,0 +1,88 @@
+package cg
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// TestSolveTraceRoundTrip runs a sampled fused CG solve (two coordinator
+// handoffs per iteration: the fused SpM×V+dot and the CGStep chain) and
+// checks the recorded trace is valid Chrome trace_event JSON with both the
+// coordinator's CG spans and the workers' kernel phase spans.
+func TestSolveTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 400
+	m := spdMatrix(rng, n, 4)
+	s, err := core.FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	k := core.NewKernel(s, core.Indexed, pool)
+
+	obs.SetSampling(true)
+	obs.EnableTracing(pool.Size(), 1<<10)
+	t.Cleanup(func() {
+		obs.SetSampling(false)
+		obs.DisableTracing()
+	})
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res := Solve(k, pool, b, x, Options{MaxIter: 20, FixedIterations: true})
+	if res.Iterations != 20 {
+		t.Fatalf("ran %d iterations, want 20", res.Iterations)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace does not round-trip through encoding/json: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace is empty after a sampled 20-iteration solve")
+	}
+	byName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			byName[e.Name]++
+			if e.Dur < 0 {
+				t.Fatalf("span %q has negative duration %g", e.Name, e.Dur)
+			}
+		}
+	}
+	// 20 iteration/spmv/vector triples on the coordinator lane.
+	for _, want := range []string{"cg/iteration", "cg/spmv", "cg/vector"} {
+		if byName[want] != 20 {
+			t.Errorf("%d %q spans, want 20 (all: %v)", byName[want], want, byName)
+		}
+	}
+	// The fused kernel runs multiply→reduce→dot per iteration on every
+	// worker lane (plus the initial r₀ MulVec).
+	for _, want := range []string{"indexed/multiply", "indexed/reduce", "indexed/dot"} {
+		if byName[want] == 0 {
+			t.Errorf("no %q spans recorded (all: %v)", want, byName)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/vec"
 )
@@ -72,6 +73,8 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 	if opts.Tol == 0 {
 		opts.Tol = 1e-10
 	}
+	cgSolves.Inc()
+	sampled := obs.SamplingEnabled()
 
 	r := make([]float64, n)
 	z := make([]float64, n)
@@ -104,9 +107,16 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 			res.Converged = true
 			break
 		}
+		var itStart, itMid int64
+		if sampled {
+			itStart = obs.Now()
+		}
 		t0 = time.Now()
 		a.MulVec(p, ap)
 		mark(&res.SpMVTime, t0)
+		if sampled {
+			itMid = obs.Now()
+		}
 
 		t0 = time.Now()
 		pap := vec.Dot(pool, p, ap)
@@ -125,6 +135,15 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 		vec.Xpay(pool, beta, z, p) // p = z + β·p
 		mark(&res.VectorTime, t0)
 		res.Iterations++
+		cgIterations.Inc()
+		if sampled {
+			itEnd := obs.Now()
+			obs.TraceSpan(obs.LaneCoordinator, cgNameSpMV, itStart, itMid)
+			obs.TraceSpan(obs.LaneCoordinator, cgNameVec, itMid, itEnd)
+			obs.TraceSpan(obs.LaneCoordinator, cgNameIter, itStart, itEnd)
+			cgIterSeconds.Observe(float64(itEnd-itStart) / 1e9)
+			cgResidual.Set(math.Sqrt(math.Max(rr, 0)) / normB)
+		}
 	}
 	if rr <= tol2 {
 		res.Converged = true

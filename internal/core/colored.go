@@ -13,19 +13,20 @@ package core
 // its rows. Seeding y[r] = d_r·x_r up front turns every later write into a
 // plain accumulation.
 
-// coloredPhases assembles the init → color₀ → … → colorₖ₋₁ phase list; with
-// dot non-nil a final phase leaves the xᵀy partials in dot[tid*DotStride],
-// computed over the same uniform chunks as vec.Dot so the combined sum is
-// bitwise identical to a dot of the finished output.
-func (k *Kernel) coloredPhases(x, y, dot []float64) []func(tid int) {
+// assembleColored assembles the init → color₀ → … → colorₖ₋₁ phase list as
+// closures over k.curX/k.curY (see Kernel.assemble); with dot non-nil a
+// final phase leaves the xᵀy partials in dot[tid*DotStride], computed over
+// the same uniform chunks as vec.Dot so the combined sum is bitwise
+// identical to a dot of the finished output.
+func (k *Kernel) assembleColored(dot []float64) []func(tid int) {
 	phases := make([]func(int), 0, k.sched.NumColors+2)
-	phases = append(phases, func(tid int) { k.diagInitT(tid, x, y) })
+	phases = append(phases, func(tid int) { k.diagInitT(tid, k.curX, k.curY) })
 	for c := 0; c < k.sched.NumColors; c++ {
 		assign := k.sched.Assign[c]
-		phases = append(phases, func(tid int) { k.colorBlocksT(assign[tid], x, y) })
+		phases = append(phases, func(tid int) { k.colorBlocksT(assign[tid], k.curX, k.curY) })
 	}
 	if dot != nil {
-		phases = append(phases, func(tid int) { dot[tid*DotStride] = k.dotChunkColoredT(tid, x, y) })
+		phases = append(phases, func(tid int) { dot[tid*DotStride] = k.dotChunkColoredT(tid, k.curX, k.curY) })
 	}
 	return phases
 }

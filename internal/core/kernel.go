@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/color"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 )
@@ -92,6 +93,21 @@ type Kernel struct {
 
 	// wide holds the nv-wide local vectors of MulMat, sized lazily.
 	wide *wideLocals
+
+	// curX/curY are the operands of the operation in flight. The phase lists
+	// are assembled once (phasesPlain in NewKernel, phasesDot on the first
+	// MulVecDot) as closures that read these fields, so repeated operations
+	// reuse the same closures and the hot path allocates nothing. A Kernel
+	// has never supported concurrent operations — it owns per-thread local
+	// vectors — so a single operand slot is safe.
+	curX, curY  []float64
+	phasesPlain []func(tid int)
+	phasesDot   []func(tid int)
+
+	// Interned trace span names for each phase list, built on first sampled
+	// use (see obsmetrics.go).
+	traceNamesPlain []obs.NameID
+	traceNamesDot   []obs.NameID
 }
 
 // NewKernel builds the parallel kernel. The partition is computed over the
@@ -108,21 +124,21 @@ func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 		pool:   pool,
 		p:      p,
 	}
-	if method == Atomic {
+	switch method {
+	case Atomic:
 		k.acc = make([]uint64, s.N)
 		k.redPartAtomic = partition.Uniform(s.N, p)
-		return k
-	}
-	if method == Colored {
+	case Colored:
 		k.sched = color.Build(s.N, s.RowPtr, s.ColIdx, p, color.Options{})
 		k.initPart = partition.Uniform(s.N, p)
-		return k
+	default:
+		var touched [][]int32
+		if method == Indexed {
+			touched = TouchedColumns(s, part, pool)
+		}
+		k.LV = NewLocalVectors(s.N, part, method, touched)
 	}
-	var touched [][]int32
-	if method == Indexed {
-		touched = TouchedColumns(s, part, pool)
-	}
-	k.LV = NewLocalVectors(s.N, part, method, touched)
+	k.phasesPlain = k.assemble(nil)
 	return k
 }
 
@@ -130,10 +146,17 @@ func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 // reduction phase selected by Method, chained through Pool.RunPhases so the
 // whole operation costs one coordinator handoff. Local vectors are re-zeroed
 // during the reduction, so repeated calls reuse all buffers without extra
-// clearing.
+// clearing. The phase list is prebuilt, so the call allocates nothing; the
+// only telemetry cost when sampling is off is one atomic load.
 func (k *Kernel) MulVec(x, y []float64) {
 	k.checkDims(x, y)
-	k.pool.RunPhases(k.phases(x, y, nil)...)
+	k.curX, k.curY = x, y
+	if obs.SamplingEnabled() {
+		k.timedRun(k.phasesPlain, k.namesPlain())
+	} else {
+		k.pool.RunPhases(k.phasesPlain...)
+	}
+	k.curX, k.curY = nil, nil
 }
 
 // MulVecDot computes y = A·x and returns xᵀ·y, the pᵀ·(A·p) inner product a
@@ -145,10 +168,17 @@ func (k *Kernel) MulVec(x, y []float64) {
 // finished output.
 func (k *Kernel) MulVecDot(x, y []float64) float64 {
 	k.checkDims(x, y)
-	if k.dot == nil {
+	if k.phasesDot == nil {
 		k.dot = make([]float64, k.p*DotStride)
+		k.phasesDot = k.assemble(k.dot)
 	}
-	k.pool.RunPhases(k.phases(x, y, k.dot)...)
+	k.curX, k.curY = x, y
+	if obs.SamplingEnabled() {
+		k.timedRun(k.phasesDot, k.namesDot())
+	} else {
+		k.pool.RunPhases(k.phasesDot...)
+	}
+	k.curX, k.curY = nil, nil
 	total := 0.0
 	for t := 0; t < k.p; t++ {
 		total += k.dot[t*DotStride]
@@ -163,32 +193,49 @@ func (k *Kernel) checkDims(x, y []float64) {
 	}
 }
 
-// phases assembles the multiply→reduce chain for one multiplication as a
-// phase list. With dot non-nil the reduction additionally leaves xᵀy partial
-// sums in dot[tid*DotStride].
-func (k *Kernel) phases(x, y, dot []float64) []func(tid int) {
-	var mult func(tid int)
+// assemble builds the multiply→reduce phase list for this kernel as closures
+// over k.curX/k.curY, the operand slots MulVec sets per call. The list is
+// built once and reused for every operation, which is what keeps the hot
+// path allocation-free. With dot non-nil the chain additionally leaves xᵀy
+// partial sums in dot[tid*DotStride].
+func (k *Kernel) assemble(dot []float64) []func(tid int) {
 	switch k.Method {
 	case Naive:
-		mult = func(tid int) { k.multiplyNaiveT(tid, x) }
-	case EffectiveRanges, Indexed:
-		mult = func(tid int) { k.multiplyEffectiveT(tid, x, y) }
-	case Atomic:
-		mult = func(tid int) { k.multiplyAtomicT(tid, x) }
-		fin := func(tid int) { k.finalizeAtomicT(tid, y) }
+		mult := func(tid int) { k.multiplyNaiveT(tid, k.curX) }
 		if dot != nil {
-			fin = func(tid int) { dot[tid*DotStride] = k.finalizeAtomicDotT(tid, x, y) }
+			return []func(int){mult,
+				func(tid int) { dot[tid*DotStride] = k.LV.reduceNaiveDotT(tid, k.curX, k.curY) }}
 		}
-		return []func(int){mult, fin}
+		return []func(int){mult, func(tid int) { k.LV.reduceNaiveT(tid, k.curY) }}
+	case EffectiveRanges:
+		mult := func(tid int) { k.multiplyEffectiveT(tid, k.curX, k.curY) }
+		if dot != nil {
+			return []func(int){mult,
+				func(tid int) { dot[tid*DotStride] = k.LV.reduceEffectiveDotT(tid, k.curX, k.curY) }}
+		}
+		return []func(int){mult, func(tid int) { k.LV.reduceEffectiveT(tid, k.curY) }}
+	case Indexed:
+		mult := func(tid int) { k.multiplyEffectiveT(tid, k.curX, k.curY) }
+		red := func(tid int) { k.LV.reduceIndexedT(tid, k.curY) }
+		if dot != nil {
+			// The indexed reduction touches only conflicted elements, so the
+			// dot needs a separate full sweep of y after the reduction.
+			return []func(int){mult, red,
+				func(tid int) { dot[tid*DotStride] = k.LV.dotChunkT(tid, k.curX, k.curY) }}
+		}
+		return []func(int){mult, red}
+	case Atomic:
+		mult := func(tid int) { k.multiplyAtomicT(tid, k.curX) }
+		if dot != nil {
+			return []func(int){mult,
+				func(tid int) { dot[tid*DotStride] = k.finalizeAtomicDotT(tid, k.curX, k.curY) }}
+		}
+		return []func(int){mult, func(tid int) { k.finalizeAtomicT(tid, k.curY) }}
 	case Colored:
-		return k.coloredPhases(x, y, dot)
+		return k.assembleColored(dot)
 	default:
 		panic("core: unknown reduction method " + k.Method.String())
 	}
-	if dot != nil {
-		return append([]func(int){mult}, k.LV.ReduceDotPhases(x, y, dot)...)
-	}
-	return append([]func(int){mult}, k.LV.ReducePhases(y)...)
 }
 
 // multiplyNaiveT runs thread tid's slice of Alg. 3's multiplication phase:

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// methodObs groups the telemetry of one reduction method: an operation
+// counter plus critical-path phase histograms. All instances are registered
+// at package init so the full metric name space is visible on /metrics
+// before the first sampled operation.
+type methodObs struct {
+	ops       *obs.Counter
+	compute   *obs.Histogram
+	reduction *obs.Histogram
+	barrier   *obs.Histogram
+	wall      *obs.Histogram
+}
+
+var phaseObs [Colored + 1]*methodObs
+
+func init() {
+	for m := Naive; m <= Colored; m++ {
+		label := m.String()
+		phaseObs[m] = &methodObs{
+			ops: obs.NewCounter("symspmv_spmv_ops_total",
+				"Sampled SpM×V operations.", "method", label),
+			compute: obs.NewHistogram("symspmv_spmv_phase_seconds",
+				"Critical-path phase time per sampled SpM×V operation.",
+				obs.DurationBuckets, "method", label, "phase", "compute"),
+			reduction: obs.NewHistogram("symspmv_spmv_phase_seconds",
+				"Critical-path phase time per sampled SpM×V operation.",
+				obs.DurationBuckets, "method", label, "phase", "reduction"),
+			barrier: obs.NewHistogram("symspmv_spmv_phase_seconds",
+				"Critical-path phase time per sampled SpM×V operation.",
+				obs.DurationBuckets, "method", label, "phase", "barrier"),
+			wall: obs.NewHistogram("symspmv_spmv_wall_seconds",
+				"Wall time per sampled SpM×V operation.",
+				obs.DurationBuckets, "method", label),
+		}
+	}
+}
+
+// observe feeds one operation's breakdown into the method's metrics. The
+// colored method records an exact zero into the reduction histogram every
+// operation — the "no reduction work" claim, continuously asserted.
+func (k *Kernel) observe(pt PhaseTimes) {
+	mo := phaseObs[k.Method]
+	mo.ops.Inc()
+	mo.compute.Observe(pt.Compute.Seconds())
+	mo.reduction.Observe(pt.Reduction.Seconds())
+	mo.barrier.Observe(pt.Barrier.Seconds())
+	mo.wall.Observe(pt.Wall.Seconds())
+}
+
+// buildTraceNames interns the span names of an n-phase list. Reduction
+// methods run multiply→reduce (→dot for the Indexed fused variant); the
+// colored method runs init→color₀…→colorₖ₋₁ (→dot), one span name per
+// color so the perfetto view shows the schedule's full phase structure.
+func (k *Kernel) buildTraceNames(n int) []obs.NameID {
+	prefix := k.Method.String()
+	out := make([]obs.NameID, n)
+	if k.Method == Colored {
+		out[0] = obs.RegisterName(prefix + "/init")
+		for c := 0; c < k.sched.NumColors && 1+c < n; c++ {
+			out[1+c] = obs.RegisterName(fmt.Sprintf("%s/color%d", prefix, c))
+		}
+		if n == k.sched.NumColors+2 {
+			out[n-1] = obs.RegisterName(prefix + "/dot")
+		}
+		return out
+	}
+	out[0] = obs.RegisterName(prefix + "/multiply")
+	if n > 1 {
+		out[1] = obs.RegisterName(prefix + "/reduce")
+	}
+	if n > 2 {
+		out[2] = obs.RegisterName(prefix + "/dot")
+	}
+	return out
+}
+
+func (k *Kernel) namesPlain() []obs.NameID {
+	if k.traceNamesPlain == nil {
+		k.traceNamesPlain = k.buildTraceNames(len(k.phasesPlain))
+	}
+	return k.traceNamesPlain
+}
+
+func (k *Kernel) namesDot() []obs.NameID {
+	if k.traceNamesDot == nil {
+		k.traceNamesDot = k.buildTraceNames(len(k.phasesDot))
+	}
+	return k.traceNamesDot
+}

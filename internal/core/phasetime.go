@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // PhaseKind classifies one execution phase of a kernel operation for the
 // timing breakdown: the multiply/compute work versus the reduction repairing
@@ -13,66 +17,97 @@ const (
 	PhaseReduction
 )
 
-// PhaseTimes is the measured breakdown of one MulVec operation. Compute and
-// Reduction are critical-path sums: per phase the slowest worker's in-phase
-// time, summed over the phases of that kind. Barrier is the remaining wall
-// time — spin-barrier crossings, the coordinator handoff, and worker-start
-// skew. Wall = Compute + Reduction + Barrier.
+// PhaseTimes is the measured breakdown of one or more MulVec operations.
+// Compute and Reduction are critical-path sums: per phase the slowest
+// worker's in-phase time, summed over the phases of that kind. Barrier is
+// the remaining wall time — spin-barrier crossings, the coordinator handoff,
+// and worker-start skew. Per operation, Wall = Compute + Reduction + Barrier
+// whenever Barrier is nonzero.
 type PhaseTimes struct {
 	Compute   time.Duration
 	Reduction time.Duration
 	Barrier   time.Duration
 	Wall      time.Duration
-	Phases    int // phase count of the operation (colored: 1 + colors)
+	Phases    int // phase count of one operation (colored: 1 + colors)
+	Ops       int // operations accumulated (1 from TimedMulVec; summed by Add)
 }
 
-// Add accumulates o into t (for averaging over repeated operations).
+// Add accumulates o into t for averaging over repeated operations: the
+// durations sum, Ops counts the operations (the denominator of any average),
+// and Phases carries the per-operation phase count, which is constant across
+// operations of the same kernel.
 func (t *PhaseTimes) Add(o PhaseTimes) {
 	t.Compute += o.Compute
 	t.Reduction += o.Reduction
 	t.Barrier += o.Barrier
 	t.Wall += o.Wall
 	t.Phases = o.Phases
+	ops := o.Ops
+	if ops == 0 {
+		ops = 1 // a hand-built single-operation breakdown counts as one
+	}
+	t.Ops += ops
 }
 
-// phaseKinds labels the phase list assembled by phases(x, y, nil), in order.
-// Every reduction method runs exactly multiply→reduce (the Atomic finalize
-// pass counts as its reduction); the colored method runs the diagonal init
-// plus one phase per color, all compute — zero reduction work by
-// construction, which TimedMulVec makes directly observable.
-func (k *Kernel) phaseKinds() []PhaseKind {
+// phaseKinds labels an n-phase list assembled by assemble(). Every reduction
+// method runs multiply→reduce (the Atomic finalize pass counts as its
+// reduction); a trailing fused-dot phase (Indexed MulVecDot) is compute
+// work. The colored method runs the diagonal init plus one phase per color
+// (plus the optional dot), all compute — zero reduction work by
+// construction, which the timed path makes directly observable.
+func (k *Kernel) phaseKinds(n int) []PhaseKind {
+	kinds := make([]PhaseKind, n)
 	if k.Method == Colored {
-		return make([]PhaseKind, k.sched.NumColors+1) // all PhaseCompute
+		return kinds // all PhaseCompute
 	}
-	return []PhaseKind{PhaseCompute, PhaseReduction}
+	if n > 1 {
+		kinds[1] = PhaseReduction
+	}
+	return kinds
 }
 
 // TimedMulVec computes y = A·x once while timing every phase on every
-// worker, and returns the compute/reduction/barrier breakdown. The wrapped
-// phases add two clock reads per worker per phase — negligible next to the
-// phases themselves but not free, so the plain MulVec stays unaffected.
+// worker, and returns the compute/reduction/barrier breakdown (Ops = 1).
+// The wrapped phases add two clock reads per worker per phase — negligible
+// next to the phases themselves but not free, so the plain MulVec stays
+// unaffected. The breakdown is also fed into the obs metrics registry, and,
+// when tracing is enabled, every phase is recorded as a per-worker trace
+// span — TimedMulVec is the sampling hook the telemetry layer rides on.
 func (k *Kernel) TimedMulVec(x, y []float64) PhaseTimes {
 	k.checkDims(x, y)
-	phases := k.phases(x, y, nil)
-	kinds := k.phaseKinds()
-	durs := make([]int64, len(phases)*k.p)
-	wrapped := make([]func(int), len(phases))
-	for pi, ph := range phases {
+	k.curX, k.curY = x, y
+	pt := k.timedRun(k.phasesPlain, k.namesPlain())
+	k.curX, k.curY = nil, nil
+	return pt
+}
+
+// timedRun executes one prebuilt phase list with per-worker timing, feeds
+// the obs layer (metrics always, trace spans when tracing is enabled), and
+// returns the single-operation breakdown.
+func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID) PhaseTimes {
+	nph := len(list)
+	durs := make([]int64, nph*k.p)
+	wrapped := make([]func(int), nph)
+	tracing := obs.TracingEnabled()
+	for pi, ph := range list {
 		pi, ph := pi, ph
 		wrapped[pi] = func(tid int) {
-			t0 := time.Now()
+			t0 := obs.Now()
 			ph(tid)
-			durs[pi*k.p+tid] = time.Since(t0).Nanoseconds()
+			t1 := obs.Now()
+			durs[pi*k.p+tid] = t1 - t0
+			if tracing {
+				obs.TraceSpan(tid, names[pi], t0, t1)
+			}
 		}
 	}
-	t0 := time.Now()
+	t0 := obs.Now()
 	k.pool.RunPhases(wrapped...)
-	wall := time.Since(t0)
+	wall := time.Duration(obs.Now() - t0)
 
-	var pt PhaseTimes
-	pt.Wall = wall
-	pt.Phases = len(phases)
-	for pi := range phases {
+	kinds := k.phaseKinds(nph)
+	pt := PhaseTimes{Wall: wall, Phases: nph, Ops: 1}
+	for pi := 0; pi < nph; pi++ {
 		crit := int64(0)
 		for tid := 0; tid < k.p; tid++ {
 			if d := durs[pi*k.p+tid]; d > crit {
@@ -89,5 +124,6 @@ func (k *Kernel) TimedMulVec(x, y []float64) PhaseTimes {
 	if worked := pt.Compute + pt.Reduction; wall > worked {
 		pt.Barrier = wall - worked
 	}
+	k.observe(pt)
 	return pt
 }

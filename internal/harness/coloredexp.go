@@ -12,9 +12,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
+	"strings"
 
+	"repro/internal/autotune"
 	"repro/internal/color"
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -116,8 +119,11 @@ func PhaseBreakdown(cfg Config, suite []*SuiteMatrix) *Table {
 	}
 	pool := parallel.NewPool(p)
 	defer pool.Close()
-	us := func(total int64) string {
-		return fmt.Sprintf("%.1f", float64(total)/float64(cfg.Iterations)/1e3)
+	us := func(total int64, ops int) string {
+		if ops == 0 {
+			ops = 1
+		}
+		return fmt.Sprintf("%.1f", float64(total)/float64(ops)/1e3)
 	}
 	for _, sm := range suite {
 		for _, m := range phaseMethods {
@@ -125,8 +131,8 @@ func PhaseBreakdown(cfg Config, suite []*SuiteMatrix) *Table {
 			pt, _, colors := measurePhases(sm, m, pool, cfg.Iterations)
 			t.Rows = append(t.Rows, []string{
 				sm.Spec.Name, m.String(), fmt.Sprintf("%d", colors),
-				us(pt.Compute.Nanoseconds()), us(pt.Reduction.Nanoseconds()),
-				us(pt.Barrier.Nanoseconds()), us(pt.Wall.Nanoseconds()),
+				us(pt.Compute.Nanoseconds(), pt.Ops), us(pt.Reduction.Nanoseconds(), pt.Ops),
+				us(pt.Barrier.Nanoseconds(), pt.Ops), us(pt.Wall.Nanoseconds(), pt.Ops),
 			})
 		}
 	}
@@ -146,13 +152,28 @@ type benchRecord struct {
 	BarrierNs   int64   `json:"barrier_ns"`
 }
 
-// benchFile is the top-level BENCH_pr3.json document.
+// benchFile is the top-level BENCH_pr3.json document. Schema version 2 added
+// the provenance stamp: the git commit the binary was built from and the
+// autotune machine signature, so archived records stay attributable to a
+// code revision and a host.
 type benchFile struct {
 	Schema     string        `json:"schema"`
+	GitCommit  string        `json:"git_commit"`
+	Machine    string        `json:"machine"`
 	Scale      float64       `json:"scale"`
 	Iterations int           `json:"iterations"`
 	Threads    []int         `json:"threads"`
 	Records    []benchRecord `json:"records"`
+}
+
+// gitCommit best-effort resolves the working tree's HEAD commit; "unknown"
+// when git or the repository is unavailable (e.g. an installed binary).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchThreads is the sweep of the bench-json experiment: {1, 2, 4} plus the
@@ -187,7 +208,9 @@ func BenchJSON(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 	}
 	threads := benchThreads()
 	doc := benchFile{
-		Schema:     "symspmv-bench/1",
+		Schema:     "symspmv-bench/2",
+		GitCommit:  gitCommit(),
+		Machine:    autotune.MachineSignature(),
 		Scale:      cfg.Scale,
 		Iterations: cfg.Iterations,
 		Threads:    threads,
@@ -202,7 +225,10 @@ func BenchJSON(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 			for _, m := range phaseMethods {
 				cfg.logf("bench-json/p=%d/%s: %v", p, sm.Spec.Name, m)
 				pt, gflops, colors := measurePhases(sm, m, pool, cfg.Iterations)
-				iters := int64(cfg.Iterations)
+				iters := int64(pt.Ops)
+				if iters == 0 {
+					iters = 1
+				}
 				rec := benchRecord{
 					Matrix:      sm.Spec.Name,
 					Method:      m.String(),

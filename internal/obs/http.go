@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the telemetry exposition endpoint: /metrics (Prometheus text
+// format), /debug/vars (expvar, including a "symspmv" snapshot of the
+// Default registry), and /debug/pprof/* (the standard Go profiler).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+var expvarOnce sync.Once
+
+// StartServer begins serving the telemetry endpoint on addr (e.g.
+// "127.0.0.1:9464", or ":0" for an ephemeral port) in a background
+// goroutine. Close releases the listener.
+func StartServer(addr string) (*Server, error) {
+	expvarOnce.Do(func() {
+		expvar.Publish("symspmv", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Default.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

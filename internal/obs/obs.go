@@ -1,0 +1,50 @@
+// Package obs is the unified telemetry layer of the library: a low-overhead
+// metrics registry (atomic counters, gauges, and fixed-bucket streaming
+// histograms), a lock-free per-worker event tracer exporting Chrome
+// trace_event JSON, and an opt-in HTTP exposition endpoint serving
+// Prometheus text format, expvar, and net/http/pprof.
+//
+// Design constraints, in order:
+//
+//  1. The plain kernel hot path must stay untouched. Everything that costs
+//     more than one atomic load is gated behind the process-wide sampling
+//     flag (SamplingEnabled); with sampling disabled, MulVec-style paths
+//     perform zero allocations and read no clocks.
+//  2. No allocations on the metric hot path. Counters and histograms are
+//     fixed structures updated with atomic operations only; histogram
+//     bucket bounds are precomputed at registration.
+//  3. Registration is idempotent. Packages declare their metrics in
+//     package-level vars (get-or-create on the Default registry), so the
+//     full metric name space is visible on /metrics from process start,
+//     before any operation has been sampled.
+//
+// The tracer (EnableTracing, TraceSpan, WriteTrace) records phase begin/end
+// spans into per-lane ring buffers — one lane per worker thread plus one for
+// the coordinating goroutine — and dumps them as a Chrome trace_event JSON
+// document loadable in perfetto or chrome://tracing.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// sampling is the process-wide gate for all optional instrumentation: phase
+// timing in the kernels, barrier wait timing, CG per-iteration metrics, and
+// trace-span emission. Off by default; the plain paths then pay exactly one
+// atomic load.
+var sampling atomic.Bool
+
+// SamplingEnabled reports whether telemetry sampling is on.
+func SamplingEnabled() bool { return sampling.Load() }
+
+// SetSampling turns telemetry sampling on or off process-wide.
+func SetSampling(on bool) { sampling.Store(on) }
+
+// epoch anchors the monotonic trace clock: all Now values are nanoseconds
+// since process start, comparable across goroutines.
+var epoch = time.Now()
+
+// Now returns the monotonic telemetry clock in nanoseconds. Spans recorded
+// with these timestamps are mutually ordered regardless of wall-clock steps.
+func Now() int64 { return int64(time.Since(epoch)) }

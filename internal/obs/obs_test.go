@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_level", "level")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %g, want -1", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "durations", []float64{0.01, 0.1, 1})
+	want := 0.0
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.1} {
+		h.Observe(v)
+		want += v
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// le semantics: 0.1 lands in the le="0.1" bucket, 5 in +Inf.
+	wantCounts := []int64{1, 2, 1, 1}
+	for i, want := range wantCounts {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.counts[2].Load(); got != 2 {
+		t.Fatalf("le=1 bucket after ObserveDuration = %d, want 2", got)
+	}
+}
+
+func TestRegistryGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "method", "indexed")
+	b := r.Counter("x_total", "x", "method", "indexed")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "x", "method", "naive")
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x", "method", "indexed")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_ops_total", "Operations.", "method", "colored").Add(7)
+	r.Gauge("app_residual", "Residual.").Set(0.125)
+	h := r.Histogram("app_seconds", "Durations.", []float64{0.5, 2})
+	h.Observe(0.4)
+	h.Observe(1)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP app_ops_total Operations.",
+		"# TYPE app_ops_total counter",
+		`app_ops_total{method="colored"} 7`,
+		"# TYPE app_residual gauge",
+		"app_residual 0.125",
+		"# TYPE app_seconds histogram",
+		`app_seconds_bucket{le="0.5"} 1`,
+		`app_seconds_bucket{le="2"} 2`,
+		`app_seconds_bucket{le="+Inf"} 3`,
+		"app_seconds_sum 101.4",
+		"app_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "s").Add(3)
+	r.Histogram("s_seconds", "s", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if got := snap["s_total{}"]; got != int64(3) {
+		t.Fatalf("snapshot counter = %v, want 3", got)
+	}
+	hv, ok := snap["s_seconds{}"].(map[string]any)
+	if !ok || hv["count"] != int64(1) || hv["sum"] != 0.5 {
+		t.Fatalf("snapshot histogram = %v", snap["s_seconds{}"])
+	}
+}
+
+func TestSamplingFlag(t *testing.T) {
+	if SamplingEnabled() {
+		t.Fatal("sampling enabled by default")
+	}
+	SetSampling(true)
+	defer SetSampling(false)
+	if !SamplingEnabled() {
+		t.Fatal("SetSampling(true) not visible")
+	}
+}
+
+// The hot-path contract: recording into a histogram or counter allocates
+// nothing.
+func TestObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("za_seconds", "za", DurationBuckets)
+	c := r.Counter("za_total", "za")
+	if a := testing.AllocsPerRun(1000, func() {
+		h.Observe(3e-5)
+		c.Inc()
+	}); a != 0 {
+		t.Fatalf("Observe+Inc allocate %v allocs/op, want 0", a)
+	}
+}

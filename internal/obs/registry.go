@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket streaming histogram: cumulative-style bucket
+// counts over precomputed upper bounds plus an exact count and sum. Observe
+// performs a hand-rolled binary search and three atomic updates — no
+// allocations, safe for concurrent writers.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds; +Inf bucket is implicit
+	counts  []atomic.Int64 // len(bounds)+1, non-cumulative per-bucket counts
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Smallest i with bounds[i] >= v (le semantics); len(bounds) = +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets spans 1µs to ~2s doubling — wide enough for a barrier
+// crossing and a full large-matrix SpM×V phase alike.
+var DurationBuckets = ExpBuckets(1e-6, 2, 22)
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric instance (a family name plus one label set).
+type entry struct {
+	name   string // family name
+	labels string // rendered `k="v",...` (no braces), "" when unlabeled
+	help   string
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry holds named metrics. Registration (cold path) takes a mutex;
+// metric updates touch only the atomics inside the metric itself.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry every package-level metric lives in.
+var Default = NewRegistry()
+
+// renderLabels renders alternating key/value pairs as `k="v",...`.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind, kv []string) *entry {
+	labels := renderLabels(kv)
+	key := name + "{" + labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %v (was %v)", key, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: labels, help: help, kind: kind}
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter with the given name and label pairs, creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	e := r.lookup(name, help, counterKind, labelPairs)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the gauge with the given name and label pairs, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	e := r.lookup(name, help, gaugeKind, labelPairs)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the histogram with the given name, bucket bounds, and
+// label pairs, creating it on first use. Bounds are fixed at creation;
+// subsequent calls with the same key return the original instance.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...string) *Histogram {
+	e := r.lookup(name, help, histogramKind, labelPairs)
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string, labelPairs ...string) *Counter {
+	return Default.Counter(name, help, labelPairs...)
+}
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string, labelPairs ...string) *Gauge {
+	return Default.Gauge(name, help, labelPairs...)
+}
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, bounds []float64, labelPairs ...string) *Histogram {
+	return Default.Histogram(name, help, bounds, labelPairs...)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, grouped by family with HELP/TYPE headers, in a
+// deterministic order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	list := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		list = append(list, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].name != list[b].name {
+			return list[a].name < list[b].name
+		}
+		return list[a].labels < list[b].labels
+	})
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	prev := ""
+	for _, e := range list {
+		if e.name != prev {
+			pr("# HELP %s %s\n", e.name, e.help)
+			pr("# TYPE %s %s\n", e.name, e.kind)
+			prev = e.name
+		}
+		switch e.kind {
+		case counterKind:
+			pr("%s%s %d\n", e.name, braced(e.labels), e.c.Value())
+		case gaugeKind:
+			pr("%s%s %s\n", e.name, braced(e.labels), formatFloat(e.g.Value()))
+		case histogramKind:
+			cum := int64(0)
+			for i, bound := range e.h.bounds {
+				cum += e.h.counts[i].Load()
+				pr("%s_bucket%s %d\n", e.name, bracedWith(e.labels, "le", formatFloat(bound)), cum)
+			}
+			cum += e.h.counts[len(e.h.bounds)].Load()
+			pr("%s_bucket%s %d\n", e.name, bracedWith(e.labels, "le", "+Inf"), cum)
+			pr("%s_sum%s %s\n", e.name, braced(e.labels), formatFloat(e.h.Sum()))
+			pr("%s_count%s %d\n", e.name, braced(e.labels), e.h.Count())
+		}
+	}
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func bracedWith(labels, k, v string) string {
+	le := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return "{" + labels + "," + le + "}"
+}
+
+// Snapshot renders the registry as a plain value tree (for expvar): metric
+// key → value (counters, gauges) or {count, sum} (histograms).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.entries))
+	for key, e := range r.entries {
+		switch e.kind {
+		case counterKind:
+			out[key] = e.c.Value()
+		case gaugeKind:
+			out[key] = e.g.Value()
+		case histogramKind:
+			out[key] = map[string]any{"count": e.h.Count(), "sum": e.h.Sum()}
+		}
+	}
+	return out
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

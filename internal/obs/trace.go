@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// The event tracer records phase spans into per-lane ring buffers. A lane is
+// a single-writer track: worker tid t writes lane t, and the coordinating
+// goroutine writes the dedicated last lane (LaneCoordinator). Recording a
+// span is an atomic slot reservation plus a plain struct store — no locks,
+// no allocations — and the newest spans win when a ring wraps.
+//
+// WriteTrace must be called while the traced kernels are quiescent (after
+// the solve / measurement loop), like any ring-buffer dump.
+
+// NameID is an interned span name. Register names once (package init or
+// kernel construction), never on the hot path.
+type NameID int32
+
+var (
+	nameMu  sync.Mutex
+	nameIdx = map[string]NameID{}
+	names   []string
+)
+
+// RegisterName interns a span name and returns its id. Idempotent.
+func RegisterName(s string) NameID {
+	nameMu.Lock()
+	defer nameMu.Unlock()
+	if id, ok := nameIdx[s]; ok {
+		return id
+	}
+	id := NameID(len(names))
+	names = append(names, s)
+	nameIdx[s] = id
+	return id
+}
+
+func nameString(id NameID) string {
+	nameMu.Lock()
+	defer nameMu.Unlock()
+	if int(id) < 0 || int(id) >= len(names) {
+		return "?"
+	}
+	return names[id]
+}
+
+// LaneCoordinator addresses the coordinator's trace lane (the last one).
+const LaneCoordinator = -1
+
+type span struct {
+	start, end int64
+	name       NameID
+}
+
+type lane struct {
+	next   atomic.Int64 // total spans ever reserved on this lane
+	events []span
+}
+
+type tracer struct {
+	lanes []lane
+}
+
+var tracerPtr atomic.Pointer[tracer]
+
+// TracingEnabled reports whether a tracer is installed.
+func TracingEnabled() bool { return tracerPtr.Load() != nil }
+
+// EnableTracing installs a fresh tracer with one lane per worker in
+// [0, workers) plus a coordinator lane, each holding the most recent
+// perLaneEvents spans. Replaces any previous tracer.
+func EnableTracing(workers, perLaneEvents int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if perLaneEvents < 16 {
+		perLaneEvents = 16
+	}
+	t := &tracer{lanes: make([]lane, workers+1)}
+	for i := range t.lanes {
+		t.lanes[i].events = make([]span, perLaneEvents)
+	}
+	tracerPtr.Store(t)
+}
+
+// DisableTracing uninstalls the tracer, discarding buffered spans.
+func DisableTracing() { tracerPtr.Store(nil) }
+
+// TraceSpan records one completed span on the given lane (a worker tid, or
+// LaneCoordinator). No-op when tracing is disabled or the lane is out of
+// range.
+func TraceSpan(laneIdx int, name NameID, startNs, endNs int64) {
+	t := tracerPtr.Load()
+	if t == nil {
+		return
+	}
+	if laneIdx == LaneCoordinator {
+		laneIdx = len(t.lanes) - 1
+	}
+	if laneIdx < 0 || laneIdx >= len(t.lanes) {
+		return
+	}
+	l := &t.lanes[laneIdx]
+	i := l.next.Add(1) - 1
+	l.events[int(i)%len(l.events)] = span{start: startNs, end: endNs, name: name}
+}
+
+// traceEvent is one Chrome trace_event record ("X" = complete event, "M" =
+// metadata). Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace dumps the buffered spans as a Chrome trace_event JSON document
+// (loadable in perfetto or chrome://tracing). Lanes appear as threads of one
+// process: worker lanes named worker-<tid>, the last lane coordinator. Call
+// only while recording is quiescent.
+func WriteTrace(w io.Writer) error {
+	doc := traceDoc{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	t := tracerPtr.Load()
+	var dropped int64
+	if t != nil {
+		for li := range t.lanes {
+			l := &t.lanes[li]
+			total := l.next.Load()
+			n := total
+			if n > int64(len(l.events)) {
+				dropped += total - int64(len(l.events))
+				n = int64(len(l.events))
+			}
+			if n == 0 {
+				continue
+			}
+			laneName := "coordinator"
+			if li < len(t.lanes)-1 {
+				laneName = "worker-" + itoa(li)
+			}
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: li,
+				Args: map[string]any{"name": laneName},
+			})
+			// Oldest surviving span first.
+			first := total - n
+			for k := int64(0); k < n; k++ {
+				s := l.events[int((first+k))%len(l.events)]
+				dur := float64(s.end-s.start) / 1e3
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: nameString(s.name), Cat: "symspmv", Ph: "X",
+					TS: float64(s.start) / 1e3, Dur: &dur, PID: 1, TID: li,
+				})
+			}
+		}
+	}
+	if dropped > 0 {
+		doc.OtherData = map[string]any{"droppedSpans": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

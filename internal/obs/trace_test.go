@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// tracedoc mirrors the trace_event JSON shape for round-trip decoding.
+type tracedoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData map[string]any `json:"otherData"`
+}
+
+func dumpTrace(t *testing.T) tracedoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc tracedoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace does not round-trip through encoding/json: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	EnableTracing(2, 16)
+	defer DisableTracing()
+	nm := RegisterName("phase/multiply")
+	nc := RegisterName("cg/iteration")
+	TraceSpan(0, nm, 1000, 2500)
+	TraceSpan(1, nm, 1100, 2600)
+	TraceSpan(LaneCoordinator, nc, 900, 3000)
+
+	doc := dumpTrace(t)
+	var spans, meta int
+	lanes := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name == "phase/multiply" && e.TS == 1.0 && e.Dur == 1.5 {
+				// 1000ns start → 1µs, 1500ns duration → 1.5µs: unit conversion ok.
+				lanes["converted"] = true
+			}
+		case "M":
+			meta++
+			if n, ok := e.Args["name"].(string); ok {
+				lanes[n] = true
+			}
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("%d spans in trace, want 3", spans)
+	}
+	if meta != 3 {
+		t.Fatalf("%d thread_name records, want 3", meta)
+	}
+	for _, want := range []string{"worker-0", "worker-1", "coordinator", "converted"} {
+		if !lanes[want] {
+			t.Errorf("trace missing %q (lanes seen: %v)", want, lanes)
+		}
+	}
+}
+
+func TestTraceRingWrapKeepsNewest(t *testing.T) {
+	EnableTracing(1, 16)
+	defer DisableTracing()
+	n := RegisterName("wrap")
+	for i := 0; i < 40; i++ {
+		TraceSpan(0, n, int64(i*100), int64(i*100+50))
+	}
+	doc := dumpTrace(t)
+	var spans int
+	minTS := 1e18
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+			if e.TS < minTS {
+				minTS = e.TS
+			}
+		}
+	}
+	if spans != 16 {
+		t.Fatalf("%d spans survived a 40-span burst into a 16-slot ring, want 16", spans)
+	}
+	// Spans 24..39 survive; the oldest surviving start is 2400ns = 2.4µs.
+	if minTS != 2.4 {
+		t.Fatalf("oldest surviving span at %gµs, want 2.4 (newest-wins ring)", minTS)
+	}
+	if got := doc.OtherData["droppedSpans"]; got != float64(24) {
+		t.Fatalf("droppedSpans = %v, want 24", got)
+	}
+}
+
+func TestTraceDisabledIsNoop(t *testing.T) {
+	DisableTracing()
+	if TracingEnabled() {
+		t.Fatal("tracing reported enabled after DisableTracing")
+	}
+	TraceSpan(0, RegisterName("ignored"), 1, 2) // must not panic
+	doc := dumpTrace(t)
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("disabled tracer produced %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestTraceOutOfRangeLaneDropped(t *testing.T) {
+	EnableTracing(2, 16)
+	defer DisableTracing()
+	n := RegisterName("oob")
+	TraceSpan(99, n, 1, 2)
+	TraceSpan(-7, n, 1, 2)
+	doc := dumpTrace(t)
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("out-of-range lanes produced %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestRegisterNameIdempotent(t *testing.T) {
+	a := RegisterName("same")
+	b := RegisterName("same")
+	if a != b {
+		t.Fatalf("RegisterName not idempotent: %d vs %d", a, b)
+	}
+	if nameString(a) != "same" {
+		t.Fatalf("nameString = %q", nameString(a))
+	}
+	if nameString(NameID(1<<30)) != "?" {
+		t.Fatal("unknown NameID should render as ?")
+	}
+}

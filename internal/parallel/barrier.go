@@ -4,6 +4,19 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Barrier telemetry, recorded only while obs sampling is enabled: the time a
+// participant spends inside Wait (arrival to release) and the Gosched yields
+// it performed while parked. The disabled-path cost is one atomic bool load.
+var (
+	barrierWait = obs.NewHistogram("symspmv_barrier_wait_seconds",
+		"Time a participant spends in a sampled spin-barrier crossing.",
+		obs.DurationBuckets)
+	barrierYields = obs.NewCounter("symspmv_barrier_yields_total",
+		"Gosched yields performed by sampled spin-barrier waiters.")
 )
 
 // spinBudget bounds the busy-wait iterations a barrier waiter performs before
@@ -43,6 +56,12 @@ func NewSpinBarrier(n int) *SpinBarrier {
 // ordering, so writes made by any participant before Wait are visible to
 // every participant after Wait returns.
 func (b *SpinBarrier) Wait() {
+	sampled := obs.SamplingEnabled()
+	var t0 int64
+	if sampled {
+		t0 = obs.Now()
+	}
+	var yields int64
 	g := b.gen.Load()
 	if b.count.Add(1) == b.n {
 		// Last arriver: re-arm the counter for the next round, then release
@@ -51,15 +70,22 @@ func (b *SpinBarrier) Wait() {
 		// next-round arrival.
 		b.count.Store(0)
 		b.gen.Add(1)
-		return
+	} else {
+		budget := spinBudget
+		if int(b.n) > runtime.GOMAXPROCS(0) {
+			budget = 0 // oversubscribed: yield immediately
+		}
+		for spins := 0; b.gen.Load() == g; spins++ {
+			if spins >= budget {
+				runtime.Gosched()
+				yields++
+			}
+		}
 	}
-	budget := spinBudget
-	if int(b.n) > runtime.GOMAXPROCS(0) {
-		budget = 0 // oversubscribed: yield immediately
-	}
-	for spins := 0; b.gen.Load() == g; spins++ {
-		if spins >= budget {
-			runtime.Gosched()
+	if sampled {
+		barrierWait.Observe(float64(obs.Now()-t0) / 1e9)
+		if yields > 0 {
+			barrierYields.Add(yields)
 		}
 	}
 }

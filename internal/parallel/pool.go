@@ -22,7 +22,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// poolHandoffs counts coordinator→worker dispatch cycles across all pools in
+// the process — the telemetry view of the per-pool Handoffs() counter. An
+// atomic add per dispatch, no gating needed.
+var poolHandoffs = obs.NewCounter("symspmv_pool_handoffs_total",
+	"Coordinator-to-worker dispatch cycles issued across all pools.")
 
 // PhaseMode selects how RunPhases separates consecutive phases.
 type PhaseMode int
@@ -60,6 +68,13 @@ type Pool struct {
 	closed   atomic.Bool
 	busy     atomic.Bool
 	handoffs atomic.Int64
+
+	// phaseList/runner implement the resident RunPhases path without
+	// allocating: runner is built once in NewPool and iterates phaseList,
+	// which RunPhases sets before the dispatch (the channel sends publish it
+	// to the workers) and clears after.
+	phaseList []func(tid int)
+	runner    func(tid int)
 }
 
 // NewPool starts n persistent workers. n must be positive.
@@ -71,6 +86,16 @@ func NewPool(n int) *Pool {
 		n:       n,
 		work:    make([]chan func(tid int), n),
 		barrier: NewSpinBarrier(n),
+	}
+	p.runner = func(tid int) {
+		phases := p.phaseList
+		last := len(phases) - 1
+		for i, ph := range phases {
+			ph(tid)
+			if i < last {
+				p.barrier.Wait()
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		p.work[i] = make(chan func(tid int))
@@ -118,6 +143,7 @@ func (p *Pool) end() { p.busy.Store(false) }
 // coordinator handoff.
 func (p *Pool) dispatch(fn func(tid int)) {
 	p.handoffs.Add(1)
+	poolHandoffs.Inc()
 	p.wg.Add(p.n)
 	for i := 0; i < p.n; i++ {
 		p.work[i] <- fn
@@ -162,14 +188,9 @@ func (p *Pool) RunPhases(phases ...func(tid int)) {
 		}
 		return
 	}
-	p.dispatch(func(tid int) {
-		for i, ph := range phases {
-			ph(tid)
-			if i < len(phases)-1 {
-				p.barrier.Wait()
-			}
-		}
-	})
+	p.phaseList = phases
+	p.dispatch(p.runner)
+	p.phaseList = nil
 }
 
 // RunChunked partitions [0, n) into Size() nearly equal contiguous chunks and
