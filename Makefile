@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored vet bench bench-json ci tune-demo telemetry-smoke
+.PHONY: all build test race race-colored vet bench bench-json ci tune-demo telemetry-smoke fuzz-smoke
 
 all: build
 
@@ -41,11 +41,24 @@ bench-json:
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
 
+# fuzz-smoke is the adversarial gate: the full differential suite (every
+# generator case × format × reduction × thread count vs the serial dense
+# reference) under the race detector, then each native fuzz target on a short
+# budget. Go allows one -fuzz pattern per invocation, hence the loop; the
+# checked-in regression corpus under internal/fuzzcheck/testdata/ also runs
+# on every plain `go test`.
+fuzz-smoke:
+	$(GO) test -race -count=1 ./internal/fuzzcheck/
+	for t in FuzzReadMatrixMarket FuzzDecodeBlob FuzzSymDeserialize; do \
+		$(GO) test -run '^$$' -fuzz "^$$t\$$" -fuzztime 10s ./internal/fuzzcheck/ || exit 1; \
+	done
+
 # ci is the gate for every change: vet (fails the build on findings), build,
 # the colored-schedule race focus, the full test suite under the race
 # detector (the execution engine's spin barrier and phase fusion are exactly
-# the kind of code -race exists for), and the telemetry smoke.
-ci: vet build race-colored race telemetry-smoke
+# the kind of code -race exists for), the telemetry smoke, and the fuzz
+# smoke (differential checking plus a short run of each fuzz target).
+ci: vet build race-colored race telemetry-smoke fuzz-smoke
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

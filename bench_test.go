@@ -453,5 +453,5 @@ func exp(v float64) float64 { return math.Exp(v) }
 // benchCG runs a short fixed-iteration CG solve with the given operator
 // (fused when it implements cg.MulVecDotter).
 func benchCG(op cg.MulVecer, pool *parallel.Pool, rhs, x []float64) {
-	cg.Solve(op, pool, rhs, x, cg.Options{MaxIter: 16, FixedIterations: true})
+	_, _ = cg.Solve(op, pool, rhs, x, cg.Options{MaxIter: 16, FixedIterations: true})
 }

@@ -100,7 +100,15 @@ func (r Result) String() string {
 // kernel fast path it costs three (SpM×V, dot, CGStep). The arithmetic is
 // ordered identically on every path, so the iterates are bitwise
 // reproducible across all of them.
-func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result {
+//
+// Solve returns a *BreakdownError when the recurrence cannot continue:
+// pᵀ·Ap non-positive or non-finite (A not SPD along p, or NaN/Inf in A, b,
+// or x₀), or a non-finite residual. Running to MaxIter without reaching Tol
+// is not an error — that outcome is reported by Result.Converged. With
+// Options.FixedIterations the breakdown checks are skipped entirely: the
+// paper's timing protocol runs a fixed iteration count for identical work
+// per format, and a mid-run exit would break that accounting.
+func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) (Result, error) {
 	n := len(b)
 	if len(x) != n {
 		panic(fmt.Sprintf("cg: len(x)=%d, len(b)=%d", len(x), n))
@@ -122,6 +130,14 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 	var res Result
 	start := time.Now()
 	mark := func(d *time.Duration, t0 time.Time) { *d += time.Since(t0) }
+	finish := func(rr, normB float64, err error) (Result, error) {
+		if err == nil && rr <= (opts.Tol*normB)*(opts.Tol*normB) {
+			res.Converged = true
+		}
+		res.Residual = math.Sqrt(math.Max(rr, 0)) / normB
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
 
 	// r₀ = b − A·x₀ ; p₀ = r₀ ; ‖b‖² and r₀ᵀr₀ in the same sweep.
 	t0 := time.Now()
@@ -134,6 +150,9 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 		normB = 1
 	}
 	mark(&res.VectorTime, t0)
+	if !opts.FixedIterations && !isFinite(rr) {
+		return finish(rr, normB, &BreakdownError{Iteration: 0, Quantity: "residual", Value: rr})
+	}
 
 	tol2 := (opts.Tol * normB) * (opts.Tol * normB)
 	for i := 0; i < opts.MaxIter; i++ {
@@ -164,10 +183,13 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 			t0 = time.Now()
 			pap = vec.Dot(pool, p, ap)
 		}
-		if pap <= 0 && !opts.FixedIterations {
-			// Breakdown: A is not SPD along p (or roundoff); stop cleanly.
+		if !opts.FixedIterations && (pap <= 0 || !isFinite(pap)) {
+			// Breakdown: A is not SPD along p, or NaN/Inf entered the
+			// recurrence. x still holds the last finite iterate. Note that a
+			// bare `pap <= 0` is not enough — NaN fails that comparison,
+			// which is how the pre-fix solver ended up iterating on NaN.
 			mark(&res.VectorTime, t0)
-			break
+			return finish(rr, normB, &BreakdownError{Iteration: i, Quantity: "pAp", Value: pap})
 		}
 		alpha := rr / pap
 		// x += α·p ; r −= α·A·p ; rr' = rᵀr ; p = r + (rr'/rr)·p — one handoff.
@@ -183,11 +205,13 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) Result
 			cgIterSeconds.Observe(float64(itEnd-itStart) / 1e9)
 			cgResidual.Set(math.Sqrt(math.Max(rr, 0)) / normB)
 		}
+		if !opts.FixedIterations && !isFinite(rr) {
+			return finish(rr, normB, &BreakdownError{Iteration: i, Quantity: "residual", Value: rr})
+		}
 	}
-	if rr <= tol2 {
-		res.Converged = true
-	}
-	res.Residual = math.Sqrt(math.Max(rr, 0)) / normB
-	res.TotalTime = time.Since(start)
-	return res
+	return finish(rr, normB, nil)
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }

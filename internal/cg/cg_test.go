@@ -47,7 +47,10 @@ func TestSolveConvergesToKnownSolution(t *testing.T) {
 	m.MulVec(xstar, b)
 
 	x := make([]float64, n)
-	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{Tol: 1e-12})
+	res, err := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Converged {
 		t.Fatalf("did not converge: %v", res)
 	}
@@ -86,7 +89,10 @@ func TestSolveAllKernelsAgree(t *testing.T) {
 	var ref []float64
 	for name, k := range kernels {
 		x := make([]float64, n)
-		res := Solve(k, pool, b, x, Options{Tol: 1e-12})
+		res, err := Solve(k, pool, b, x, Options{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.Converged {
 			t.Fatalf("%s: did not converge: %v", name, res)
 		}
@@ -113,7 +119,10 @@ func TestSolveFixedIterations(t *testing.T) {
 		b[i] = 1
 	}
 	x := make([]float64, n)
-	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{MaxIter: 37, FixedIterations: true})
+	res, err := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{MaxIter: 37, FixedIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Iterations != 37 {
 		t.Fatalf("fixed iterations: ran %d, want 37", res.Iterations)
 	}
@@ -126,7 +135,10 @@ func TestSolveZeroRHS(t *testing.T) {
 	defer pool.Close()
 	b := make([]float64, 50)
 	x := make([]float64, 50)
-	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{})
+	res, err := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Converged {
 		t.Fatalf("zero RHS should converge immediately: %v", res)
 	}
@@ -145,7 +157,7 @@ func TestSolveDimensionMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic on dim mismatch")
 		}
 	}()
-	Solve(MulVecFunc(func(x, y []float64) {}), pool, make([]float64, 3), make([]float64, 4), Options{})
+	_, _ = Solve(MulVecFunc(func(x, y []float64) {}), pool, make([]float64, 3), make([]float64, 4), Options{})
 }
 
 func TestResultString(t *testing.T) {
@@ -165,7 +177,10 @@ func TestPhaseTimesAccounted(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x := make([]float64, 500)
-	res := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{Tol: 1e-10})
+	res, err := Solve(MulVecFunc(m.MulVec), pool, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.SpMVTime <= 0 || res.VectorTime <= 0 {
 		t.Fatalf("phase times not recorded: %+v", res)
 	}
@@ -197,11 +212,11 @@ func TestSolveFusedMatchesUnfused(t *testing.T) {
 	k := core.NewKernel(s, core.Indexed, pool)
 
 	xFused := make([]float64, n)
-	resFused := Solve(k, pool, b, xFused, Options{MaxIter: 50, FixedIterations: true})
+	resFused, _ := Solve(k, pool, b, xFused, Options{MaxIter: 50, FixedIterations: true})
 
 	xPlain := make([]float64, n)
 	// MulVecFunc hides MulVecDot, forcing the unfused path over the same kernel.
-	resPlain := Solve(MulVecFunc(k.MulVec), pool, b, xPlain, Options{MaxIter: 50, FixedIterations: true})
+	resPlain, _ := Solve(MulVecFunc(k.MulVec), pool, b, xPlain, Options{MaxIter: 50, FixedIterations: true})
 
 	for i := range xFused {
 		if xFused[i] != xPlain[i] {
@@ -244,13 +259,13 @@ func TestSolveFusedIterationHandoffs(t *testing.T) {
 		x := make([]float64, n)
 		const iters = 25
 		// Warm-up solve allocates MulVecDot's partial buffer outside the count.
-		Solve(k, pool, b, x, Options{MaxIter: 1, FixedIterations: true})
+		_, _ = Solve(k, pool, b, x, Options{MaxIter: 1, FixedIterations: true})
 
 		for i := range x {
 			x[i] = 0
 		}
 		pool.ResetHandoffs()
-		Solve(k, pool, b, x, Options{MaxIter: iters, FixedIterations: true})
+		_, _ = Solve(k, pool, b, x, Options{MaxIter: iters, FixedIterations: true})
 		total := pool.Handoffs()
 		// Setup costs two handoffs (initial SpM×V + SubCopyDots); every
 		// iteration may cost at most two.

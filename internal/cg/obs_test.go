@@ -39,7 +39,7 @@ func TestSolveTraceRoundTrip(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x := make([]float64, n)
-	res := Solve(k, pool, b, x, Options{MaxIter: 20, FixedIterations: true})
+	res, _ := Solve(k, pool, b, x, Options{MaxIter: 20, FixedIterations: true})
 	if res.Iterations != 20 {
 		t.Fatalf("ran %d iterations, want 20", res.Iterations)
 	}

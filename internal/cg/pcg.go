@@ -62,7 +62,11 @@ func (IdentityPreconditioner) Apply(pool *parallel.Pool, r, z []float64) {
 // With the identity preconditioner it performs the same iteration as Solve
 // (one extra vector copy per step). The phase breakdown accounts the
 // preconditioner under VectorTime.
-func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64, opts Options) Result {
+//
+// Like Solve, SolvePCG returns a *BreakdownError on a non-positive or
+// non-finite pᵀ·Ap, a vanishing or non-finite rᵀ·z (the scalar β divides
+// by), or a non-finite residual; Options.FixedIterations skips the checks.
+func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64, opts Options) (Result, error) {
 	n := len(b)
 	if len(x) != n {
 		panic(fmt.Sprintf("cg: len(x)=%d, len(b)=%d", len(x), n))
@@ -84,6 +88,14 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 	var res Result
 	start := time.Now()
 	mark := func(d *time.Duration, t0 time.Time) { *d += time.Since(t0) }
+	finish := func(rr, normB float64, err error) (Result, error) {
+		if err == nil && rr <= (opts.Tol*normB)*(opts.Tol*normB) {
+			res.Converged = true
+		}
+		res.Residual = math.Sqrt(math.Max(rr, 0)) / normB
+		res.TotalTime = time.Since(start)
+		return res, err
+	}
 
 	t0 := time.Now()
 	a.MulVec(x, ap)
@@ -100,6 +112,9 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 	rz := vec.Dot(pool, r, z)
 	rr := vec.Dot(pool, r, r)
 	mark(&res.VectorTime, t0)
+	if !opts.FixedIterations && !isFinite(rr) {
+		return finish(rr, normB, &BreakdownError{Iteration: 0, Quantity: "residual", Value: rr})
+	}
 
 	tol2 := (opts.Tol * normB) * (opts.Tol * normB)
 	for i := 0; i < opts.MaxIter; i++ {
@@ -120,9 +135,15 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 
 		t0 = time.Now()
 		pap := vec.Dot(pool, p, ap)
-		if pap <= 0 && !opts.FixedIterations {
+		if !opts.FixedIterations && (pap <= 0 || !isFinite(pap)) {
 			mark(&res.VectorTime, t0)
-			break
+			return finish(rr, normB, &BreakdownError{Iteration: i, Quantity: "pAp", Value: pap})
+		}
+		if !opts.FixedIterations && (rz == 0 || !isFinite(rz)) {
+			// β = rz'/rz: a vanished or non-finite rz poisons every later
+			// search direction.
+			mark(&res.VectorTime, t0)
+			return finish(rr, normB, &BreakdownError{Iteration: i, Quantity: "rz", Value: rz})
 		}
 		alpha := rz / pap
 		vec.Axpy(pool, alpha, p, x)
@@ -144,11 +165,9 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 			cgIterSeconds.Observe(float64(itEnd-itStart) / 1e9)
 			cgResidual.Set(math.Sqrt(math.Max(rr, 0)) / normB)
 		}
+		if !opts.FixedIterations && !isFinite(rr) {
+			return finish(rr, normB, &BreakdownError{Iteration: i, Quantity: "residual", Value: rr})
+		}
 	}
-	if rr <= tol2 {
-		res.Converged = true
-	}
-	res.Residual = math.Sqrt(math.Max(rr, 0)) / normB
-	res.TotalTime = time.Since(start)
-	return res
+	return finish(rr, normB, nil)
 }

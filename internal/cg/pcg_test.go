@@ -20,8 +20,11 @@ func TestPCGMatchesCGWithIdentity(t *testing.T) {
 	}
 	x1 := make([]float64, n)
 	x2 := make([]float64, n)
-	r1 := Solve(MulVecFunc(m.MulVec), pool, b, x1, Options{Tol: 1e-12})
-	r2 := SolvePCG(MulVecFunc(m.MulVec), IdentityPreconditioner{}, pool, b, x2, Options{Tol: 1e-12})
+	r1, err1 := Solve(MulVecFunc(m.MulVec), pool, b, x1, Options{Tol: 1e-12})
+	r2, err2 := SolvePCG(MulVecFunc(m.MulVec), IdentityPreconditioner{}, pool, b, x2, Options{Tol: 1e-12})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	if !r1.Converged || !r2.Converged {
 		t.Fatalf("convergence: cg=%v pcg=%v", r1.Converged, r2.Converged)
 	}
@@ -62,9 +65,12 @@ func TestJacobiPCGConvergesFasterOnIllScaled(t *testing.T) {
 	}
 
 	xPlain := make([]float64, n)
-	plain := Solve(MulVecFunc(m.MulVec), pool, b, xPlain, Options{Tol: 1e-10, MaxIter: 20000})
+	plain, errPlain := Solve(MulVecFunc(m.MulVec), pool, b, xPlain, Options{Tol: 1e-10, MaxIter: 20000})
 	xPre := make([]float64, n)
-	pre := SolvePCG(MulVecFunc(m.MulVec), NewJacobi(diag), pool, b, xPre, Options{Tol: 1e-10, MaxIter: 20000})
+	pre, errPre := SolvePCG(MulVecFunc(m.MulVec), NewJacobi(diag), pool, b, xPre, Options{Tol: 1e-10, MaxIter: 20000})
+	if errPlain != nil || errPre != nil {
+		t.Fatal(errPlain, errPre)
+	}
 	if !pre.Converged {
 		t.Fatalf("Jacobi-PCG did not converge: %v", pre)
 	}

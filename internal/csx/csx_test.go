@@ -249,76 +249,12 @@ func TestCSXSymLegalityRule(t *testing.T) {
 			t.Errorf("p=%d: straddling-run matrix differs by %g", p, d)
 		}
 		// Every encoded unit must sit entirely on one side of its thread's
-		// boundary; verified indirectly by correctness above, and directly:
+		// boundary; verified indirectly by correctness above, and directly by
+		// the same validator the deserializer runs on untrusted blobs.
 		for tid, b := range sm.Blobs {
-			checkBlobLegality(t, b, sm.Part.Start[tid])
-		}
-	}
-}
-
-// checkBlobLegality decodes the ctl stream and asserts the unit-level
-// local/direct invariant.
-func checkBlobLegality(t *testing.T, b *Blob, boundary int32) {
-	t.Helper()
-	ctl := b.Ctl
-	row := b.StartRow - 1
-	col := int32(0)
-	i := 0
-	for i < len(ctl) {
-		flags := ctl[i]
-		size := int(ctl[i+1])
-		i += 2
-		if flags&flagNR != 0 {
-			if flags&flagRJMP != 0 {
-				jump, n := uvarint(ctl[i:])
-				i += n
-				row += int32(jump) + 1
-			} else {
-				row++
+			if err := ValidateSymBlob(b, sm.N, sm.Part.Start[tid], nil); err != nil {
+				t.Errorf("p=%d blob %d: %v", p, tid, err)
 			}
-			col = 0
-		}
-		d, n := uvarint(ctl[i:])
-		i += n
-		col += int32(d)
-		pat := Pattern(flags & patternMask)
-		minC, maxC := col, col
-		switch pat {
-		case Delta8, Delta16, Delta32:
-			width := map[Pattern]int{Delta8: 1, Delta16: 2, Delta32: 4}[pat]
-			c := col
-			for k := 0; k < size-1; k++ {
-				var dd uint32
-				switch width {
-				case 1:
-					dd = uint32(ctl[i])
-				case 2:
-					dd = uint32(ctl[i]) | uint32(ctl[i+1])<<8
-				default:
-					dd = uint32(ctl[i]) | uint32(ctl[i+1])<<8 | uint32(ctl[i+2])<<16 | uint32(ctl[i+3])<<24
-				}
-				i += width
-				c += int32(dd)
-			}
-			maxC = c
-			col = c
-		case Horizontal:
-			maxC = col + int32(size) - 1
-			col = maxC
-		case AntiDiagonal:
-			minC = col - int32(size) + 1
-		case Diagonal:
-			maxC = col + int32(size) - 1
-		case Block2:
-			maxC = col + int32(size/2) - 1
-			col = maxC
-		case Block3:
-			maxC = col + int32(size/3) - 1
-			col = maxC
-		}
-		if minC < boundary && maxC >= boundary {
-			t.Errorf("unit at row %d cols [%d,%d] straddles boundary %d (pattern %v)",
-				row, minC, maxC, boundary, pat)
 		}
 	}
 }

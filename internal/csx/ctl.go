@@ -66,8 +66,11 @@ func (w *ctlWriter) putDelta32(d uint32) {
 }
 
 // uvarint decodes a LEB128 value from b, returning the value and the number
-// of bytes consumed. Inlined manually in the hot kernels; this version is
-// for the verifier/dumper.
+// of bytes consumed. n == 0 reports a truncated or oversized (> 32-bit)
+// varint: ctl bytes reach this decoder from disk via ReadSymMatrix, so a
+// malformed stream must surface as a checkable condition, not a panic — the
+// caller turns it into a validation error. The hot multiply kernels use the
+// manually inlined readUvarint instead, which may assume validated input.
 func uvarint(b []byte) (uint32, int) {
 	var v uint32
 	var shift uint
@@ -82,5 +85,5 @@ func uvarint(b []byte) (uint32, int) {
 			break
 		}
 	}
-	panic("csx: truncated or oversized uvarint in ctl stream")
+	return 0, 0 // truncated or oversized
 }

@@ -6,42 +6,41 @@ import (
 	"repro/internal/matrix"
 )
 
-// DecodeToCOO reconstructs the exact (row, col, value) triplets a blob
-// encodes, in ctl order. It is the structural inverse of encodeRange, used
-// by round-trip tests, the mtx-info dumper and format debugging: MulVec
-// equality can hide coordinate errors that cancel, coordinate equality
-// cannot.
-func DecodeToCOO(b *Blob, rows, cols int, symmetric bool) (*matrix.COO, error) {
-	out := matrix.NewCOO(rows, cols, b.NNZ)
-	out.Symmetric = symmetric
+// blobWalk is the shared ctl-stream walker behind DecodeToCOO and
+// ValidateSymBlob: it decodes unit heads and bodies exactly like the hot
+// multiply kernels but checks every byte it consumes, so malformed streams
+// (truncated heads or varints, zero-size units, unknown patterns, wild jumps)
+// surface as errors instead of panics or out-of-range accesses. emit is
+// called once per element in ctl order; unitDone, if non-nil, once per unit
+// with the unit's column extremes (the hook the CSX-Sym boundary-legality
+// validation hangs off). ctl bytes reach this walker from disk, so it is the
+// untrusted-input gate in front of the kernels, which may then assume
+// validated streams.
+func blobWalk(b *Blob, rows, cols int, emit func(r, c int32) error, unitDone func(minCol, maxCol int32) error) error {
 	ctl := b.Ctl
-	vals := b.Vals
 	row := b.StartRow - 1
 	col := int32(0)
-	pos := 0
 	i := 0
-	emit := func(r, c int32) error {
-		if pos >= len(vals) {
-			return fmt.Errorf("csx: values exhausted at unit element (%d,%d)", r, c)
-		}
-		out.Add(int(r), int(c), vals[pos])
-		pos++
-		return nil
-	}
 	for i < len(ctl) {
 		if i+2 > len(ctl) {
-			return nil, fmt.Errorf("csx: truncated unit head at byte %d", i)
+			return fmt.Errorf("csx: truncated unit head at byte %d", i)
 		}
 		flags := ctl[i]
 		size := int(ctl[i+1])
 		i += 2
 		if size == 0 {
-			return nil, fmt.Errorf("csx: zero-size unit at byte %d", i-2)
+			return fmt.Errorf("csx: zero-size unit at byte %d", i-2)
 		}
 		if flags&flagNR != 0 {
 			if flags&flagRJMP != 0 {
 				jump, n := uvarint(ctl[i:])
+				if n <= 0 {
+					return fmt.Errorf("csx: truncated or oversized row-jump varint at byte %d", i)
+				}
 				i += n
+				if jump > uint32(rows) {
+					return fmt.Errorf("csx: row jump %d beyond %d rows at byte %d", jump, rows, i-n)
+				}
 				row += int32(jump) + 1
 			} else {
 				row++
@@ -49,19 +48,26 @@ func DecodeToCOO(b *Blob, rows, cols int, symmetric bool) (*matrix.COO, error) {
 			col = 0
 		}
 		d, n := uvarint(ctl[i:])
+		if n <= 0 {
+			return fmt.Errorf("csx: truncated or oversized column-delta varint at byte %d", i)
+		}
 		i += n
+		if d > uint32(cols) {
+			return fmt.Errorf("csx: column delta %d beyond %d columns at byte %d", d, cols, i-n)
+		}
 		col += int32(d)
+		minCol, maxCol := col, col
 
 		pat := Pattern(flags & patternMask)
 		switch pat {
 		case Delta8, Delta16, Delta32:
 			width := map[Pattern]int{Delta8: 1, Delta16: 2, Delta32: 4}[pat]
 			if err := emit(row, col); err != nil {
-				return nil, err
+				return err
 			}
 			for k := 1; k < size; k++ {
 				if i+width > len(ctl) {
-					return nil, fmt.Errorf("csx: truncated delta body at byte %d", i)
+					return fmt.Errorf("csx: truncated delta body at byte %d", i)
 				}
 				var dd uint32
 				switch width {
@@ -75,59 +81,165 @@ func DecodeToCOO(b *Blob, rows, cols int, symmetric bool) (*matrix.COO, error) {
 				i += width
 				col += int32(dd)
 				if err := emit(row, col); err != nil {
-					return nil, err
+					return err
+				}
+				if col < minCol {
+					minCol = col
+				}
+				if col > maxCol {
+					maxCol = col
 				}
 			}
 		case Horizontal:
 			for k := 0; k < size; k++ {
 				if err := emit(row, col+int32(k)); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			col += int32(size) - 1
+			maxCol = col
 		case Vertical:
 			for k := 0; k < size; k++ {
 				if err := emit(row+int32(k), col); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		case Diagonal:
 			for k := 0; k < size; k++ {
 				if err := emit(row+int32(k), col+int32(k)); err != nil {
-					return nil, err
+					return err
 				}
 			}
+			maxCol = col + int32(size) - 1
 		case AntiDiagonal:
 			for k := 0; k < size; k++ {
 				if err := emit(row+int32(k), col-int32(k)); err != nil {
-					return nil, err
+					return err
 				}
 			}
+			minCol = col - int32(size) + 1
 		case Block2, Block3:
 			depth := int32(2)
 			if pat == Block3 {
 				depth = 3
 			}
 			if size%int(depth) != 0 {
-				return nil, fmt.Errorf("csx: block unit size %d not divisible by %d", size, depth)
+				return fmt.Errorf("csx: block unit size %d not divisible by %d", size, depth)
 			}
 			w := int32(size) / depth
 			for rr := int32(0); rr < depth; rr++ {
 				for k := int32(0); k < w; k++ {
 					if err := emit(row+rr, col+k); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
 			col += w - 1
+			maxCol = col
 		default:
-			return nil, fmt.Errorf("csx: unknown pattern %d at byte %d", pat, i)
+			return fmt.Errorf("csx: unknown pattern %d at byte %d", pat, i)
 		}
+		if unitDone != nil {
+			if err := unitDone(minCol, maxCol); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeToCOO reconstructs the exact (row, col, value) triplets a blob
+// encodes, in ctl order. It is the structural inverse of encodeRange, used
+// by round-trip tests, the mtx-info dumper and format debugging: MulVec
+// equality can hide coordinate errors that cancel, coordinate equality
+// cannot. Malformed ctl bytes — including out-of-range or (for symmetric
+// blobs) upper-triangular coordinates — return errors, never panic.
+func DecodeToCOO(b *Blob, rows, cols int, symmetric bool) (*matrix.COO, error) {
+	nnzHint := b.NNZ
+	if nnzHint < 0 || nnzHint > len(b.Vals) {
+		nnzHint = len(b.Vals)
+	}
+	out := matrix.NewCOO(rows, cols, nnzHint)
+	out.Symmetric = symmetric
+	vals := b.Vals
+	pos := 0
+	emit := func(r, c int32) error {
+		if pos >= len(vals) {
+			return fmt.Errorf("csx: values exhausted at unit element (%d,%d)", r, c)
+		}
+		if r < 0 || int(r) >= rows || c < 0 || int(c) >= cols {
+			return fmt.Errorf("csx: unit element (%d,%d) outside %dx%d", r, c, rows, cols)
+		}
+		if symmetric && c > r {
+			return fmt.Errorf("csx: unit element (%d,%d) in upper triangle of symmetric blob", r, c)
+		}
+		out.Add(int(r), int(c), vals[pos])
+		pos++
+		return nil
+	}
+	if err := blobWalk(b, rows, cols, emit, nil); err != nil {
+		return nil, err
 	}
 	if pos != len(vals) {
 		return nil, fmt.Errorf("csx: %d values not consumed by ctl stream", len(vals)-pos)
 	}
 	return out.Normalize(), nil
+}
+
+// ValidateSymBlob checks every invariant the CSX-Sym multiply kernel
+// (mulBlobSym) assumes about blob t of an n×n matrix and therefore does not
+// re-check per element on the hot path:
+//
+//   - the ctl stream decodes cleanly (no truncation, unknown patterns, …),
+//   - every element sits in the strict lower triangle, inside the blob's
+//     declared row range [StartRow, EndRow),
+//   - no unit straddles the local/direct write boundary (the Fig. 8 legality
+//     rule): all of a unit's columns lie on one side of `boundary`, since the
+//     kernel routes the whole unit through one target vector,
+//   - the value array length matches both the elements the ctl stream emits
+//     and the blob's declared NNZ.
+//
+// ReadSymMatrix runs it on every deserialized blob, which is what lets the
+// kernels keep their builder-invariant panics while untrusted bytes can
+// never reach them. touched, if non-nil, accumulates the distinct columns
+// < boundary the blob writes (the indexed reduction's rebuild input).
+func ValidateSymBlob(b *Blob, n int, boundary int32, touched map[int32]struct{}) error {
+	if b.StartRow < 0 || b.EndRow < b.StartRow || int(b.EndRow) > n {
+		return fmt.Errorf("csx: blob row range [%d,%d) invalid for %d rows", b.StartRow, b.EndRow, n)
+	}
+	if b.NNZ != len(b.Vals) {
+		return fmt.Errorf("csx: blob declares %d elements but stores %d values", b.NNZ, len(b.Vals))
+	}
+	count := 0
+	emit := func(r, c int32) error {
+		if r < b.StartRow || r >= b.EndRow {
+			return fmt.Errorf("csx: unit element (%d,%d) outside blob row range [%d,%d)", r, c, b.StartRow, b.EndRow)
+		}
+		if c < 0 || c >= r {
+			return fmt.Errorf("csx: unit element (%d,%d) not in the strict lower triangle", r, c)
+		}
+		if count >= len(b.Vals) {
+			return fmt.Errorf("csx: values exhausted at unit element (%d,%d)", r, c)
+		}
+		count++
+		if touched != nil && c < boundary {
+			touched[c] = struct{}{}
+		}
+		return nil
+	}
+	unitDone := func(minCol, maxCol int32) error {
+		if minCol < boundary && maxCol >= boundary {
+			return fmt.Errorf("csx: unit columns [%d,%d] straddle the write boundary %d", minCol, maxCol, boundary)
+		}
+		return nil
+	}
+	if err := blobWalk(b, n, n, emit, unitDone); err != nil {
+		return err
+	}
+	if count != len(b.Vals) {
+		return fmt.Errorf("csx: %d values not consumed by ctl stream", len(b.Vals)-count)
+	}
+	return nil
 }
 
 // DecodeMatrix reconstructs the full triplet set of an unsymmetric CSX

@@ -201,12 +201,18 @@ func dumpUnits(b *Blob, maxUnits int) string {
 	col := int32(0)
 	count := 0
 	for i < len(b.Ctl) && count < maxUnits {
+		if i+2 > len(b.Ctl) {
+			return out + fmt.Sprintf("<truncated unit head at byte %d>\n", i)
+		}
 		flags := b.Ctl[i]
 		size := int(b.Ctl[i+1])
 		i += 2
 		if flags&flagNR != 0 {
 			if flags&flagRJMP != 0 {
 				jump, n := uvarint(b.Ctl[i:])
+				if n <= 0 {
+					return out + fmt.Sprintf("<corrupt row-jump varint at byte %d>\n", i)
+				}
 				i += n
 				row += int32(jump) + 1
 			} else {
@@ -215,6 +221,9 @@ func dumpUnits(b *Blob, maxUnits int) string {
 			col = 0
 		}
 		d, n := uvarint(b.Ctl[i:])
+		if n <= 0 {
+			return out + fmt.Sprintf("<corrupt column-delta varint at byte %d>\n", i)
+		}
 		i += n
 		col += int32(d)
 		pat := Pattern(flags & patternMask)

@@ -23,6 +23,7 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -136,10 +137,51 @@ func (cr *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// readBytes and readFloats grow their result incrementally while reading, so
+// a lying length field in an untrusted header costs at most one chunk of
+// allocation before the stream runs dry — a 16 GiB claimed ctl stream in a
+// 100-byte file fails at the first short read instead of attempting a 16 GiB
+// make().
+func readBytes(r io.Reader, total uint64, what string) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, min(total, chunk))
+	tmp := make([]byte, min(total, chunk))
+	for total > 0 {
+		c := int(min(total, chunk))
+		if _, err := io.ReadFull(r, tmp[:c]); err != nil {
+			return nil, fmt.Errorf("csx: reading %s: %w", what, err)
+		}
+		out = append(out, tmp[:c]...)
+		total -= uint64(c)
+	}
+	return out, nil
+}
+
+func readFloats(r io.Reader, total uint64, what string) ([]float64, error) {
+	const chunk = 1 << 16
+	out := make([]float64, 0, min(total, chunk))
+	tmp := make([]float64, min(total, chunk))
+	for total > 0 {
+		c := int(min(total, chunk))
+		if err := binary.Read(r, binary.LittleEndian, tmp[:c]); err != nil {
+			return nil, fmt.Errorf("csx: reading %s: %w", what, err)
+		}
+		out = append(out, tmp[:c]...)
+		total -= uint64(c)
+	}
+	return out, nil
+}
+
 // ReadSymMatrix deserializes a CSX-Sym matrix written by WriteTo, rebuilding
 // the reduction-phase state (local vectors and conflict index) from the
 // stored partition and ctl streams — the index is derived data, so it is
 // reconstructed rather than stored.
+//
+// The input is untrusted: beyond the CRC32 (which guards against accidental
+// corruption, not malice), every blob's ctl stream is validated against the
+// invariants the multiply kernels assume (ValidateSymBlob) before the matrix
+// is returned, so ReadSymMatrix returns an error for any input that would
+// make MulVec panic or write out of bounds.
 func ReadSymMatrix(r io.Reader) (*SymMatrix, error) {
 	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20), crc: crc32.NewIEEE()}
 	get := func(v any) error { return binary.Read(cr, binary.LittleEndian, v) }
@@ -170,17 +212,17 @@ func ReadSymMatrix(r io.Reader) (*SymMatrix, error) {
 		return nil, err
 	}
 	const limit = 1 << 34
-	if n64 > limit || nnz64 > limit || p32 == 0 || p32 > 1<<16 {
+	if n64 > math.MaxInt32 || nnz64 > limit || p32 == 0 || p32 > 1<<16 {
 		return nil, fmt.Errorf("csx: implausible header: n=%d nnz=%d p=%d", n64, nnz64, p32)
 	}
 	sm := &SymMatrix{
 		N:        int(n64),
 		nnzLower: int(nnz64),
-		DValues:  make([]float64, n64),
 		Blobs:    make([]*Blob, p32),
 	}
-	if err := get(sm.DValues); err != nil {
-		return nil, fmt.Errorf("csx: reading dvalues: %w", err)
+	var err error
+	if sm.DValues, err = readFloats(cr, n64, "dvalues"); err != nil {
+		return nil, err
 	}
 	for i := range sm.Blobs {
 		b := &Blob{}
@@ -202,9 +244,8 @@ func ReadSymMatrix(r io.Reader) (*SymMatrix, error) {
 			return nil, fmt.Errorf("csx: implausible ctl length %d", ctlLen)
 		}
 		b.StartRow, b.EndRow, b.NNZ = int32(sr), int32(er), int(nnz)
-		b.Ctl = make([]byte, ctlLen)
-		if _, err := io.ReadFull(cr, b.Ctl); err != nil {
-			return nil, fmt.Errorf("csx: reading ctl: %w", err)
+		if b.Ctl, err = readBytes(cr, ctlLen, "ctl"); err != nil {
+			return nil, err
 		}
 		if err := get(&valLen); err != nil {
 			return nil, err
@@ -212,9 +253,8 @@ func ReadSymMatrix(r io.Reader) (*SymMatrix, error) {
 		if valLen > limit {
 			return nil, fmt.Errorf("csx: implausible value count %d", valLen)
 		}
-		b.Vals = make([]float64, valLen)
-		if err := get(b.Vals); err != nil {
-			return nil, fmt.Errorf("csx: reading values: %w", err)
+		if b.Vals, err = readFloats(cr, valLen, "values"); err != nil {
+			return nil, err
 		}
 		if err := get(b.UnitCount[:]); err != nil {
 			return nil, err
@@ -246,8 +286,11 @@ func ReadSymMatrix(r io.Reader) (*SymMatrix, error) {
 	if err := get(&method); err != nil {
 		return nil, err
 	}
-	if method > uint32(core.Atomic) {
-		return nil, fmt.Errorf("csx: unknown reduction method %d", method)
+	// CSX-Sym executes only the first three reduction methods (NewSym never
+	// produces Atomic or Colored); accepting a larger value here would hand
+	// the kernels a matrix with no usable local-vector state.
+	if method > uint32(core.Indexed) {
+		return nil, fmt.Errorf("csx: unsupported reduction method %d for CSX-Sym", method)
 	}
 	sm.Method = core.ReductionMethod(method)
 
@@ -260,42 +303,55 @@ func ReadSymMatrix(r io.Reader) (*SymMatrix, error) {
 		return nil, fmt.Errorf("csx: checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
 	}
 
-	// Rebuild the reduction state: touched columns come from decoding the
-	// blobs (cheap relative to detection), keeping the file format free of
-	// derived data.
-	if err := sm.rebuildReduction(); err != nil {
+	// Validate every blob against the kernel invariants and rebuild the
+	// reduction state: touched columns come from walking the ctl streams
+	// (cheap relative to detection), keeping the file format free of derived
+	// data.
+	if err := sm.validateAndRebuild(); err != nil {
 		return nil, err
 	}
 	return sm, nil
 }
 
-// rebuildReduction reconstructs LocalVectors (and the conflict index for the
-// Indexed method) from the decoded blob coordinates.
-func (sm *SymMatrix) rebuildReduction() error {
+// validateAndRebuild runs ValidateSymBlob over every blob — the serialized
+// ctl streams drive the panic-on-invariant multiply kernels, so nothing may
+// reach them unchecked — and reconstructs LocalVectors (plus the conflict
+// index for the Indexed method) from the validated coordinates.
+func (sm *SymMatrix) validateAndRebuild() error {
 	var touched [][]int32
 	if sm.Method == core.Indexed {
 		touched = make([][]int32, len(sm.Blobs))
-		for t, b := range sm.Blobs {
-			startT := sm.Part.Start[t]
-			if startT == 0 {
-				continue
-			}
-			part, err := DecodeToCOO(b, sm.N, sm.N, true)
-			if err != nil {
-				return fmt.Errorf("csx: blob %d: %w", t, err)
-			}
-			seen := make(map[int32]struct{})
-			for k := range part.Val {
-				if c := part.ColIdx[k]; c < startT {
-					seen[c] = struct{}{}
-				}
-			}
+	}
+	total := 0
+	for t, b := range sm.Blobs {
+		if b.StartRow != sm.Part.Start[t] || b.EndRow != sm.Part.End[t] {
+			return fmt.Errorf("csx: blob %d rows [%d,%d) disagree with partition [%d,%d)",
+				t, b.StartRow, b.EndRow, sm.Part.Start[t], sm.Part.End[t])
+		}
+		boundary := sm.Part.Start[t]
+		if sm.Method == core.Naive {
+			// Naive routes every symmetric write to a full-length local
+			// vector, so no column can straddle a boundary.
+			boundary = int32(sm.N) + 1
+		}
+		var seen map[int32]struct{}
+		if sm.Method == core.Indexed {
+			seen = make(map[int32]struct{})
+		}
+		if err := ValidateSymBlob(b, sm.N, boundary, seen); err != nil {
+			return fmt.Errorf("csx: blob %d: %w", t, err)
+		}
+		total += len(b.Vals)
+		if sm.Method == core.Indexed {
 			cols := make([]int32, 0, len(seen))
 			for c := range seen {
 				cols = append(cols, c)
 			}
 			touched[t] = sortCols(cols)
 		}
+	}
+	if total != sm.nnzLower {
+		return fmt.Errorf("csx: blobs store %d values, header declares %d", total, sm.nnzLower)
 	}
 	sm.LV = core.NewLocalVectors(sm.N, sm.Part, sm.Method, touched)
 	return nil

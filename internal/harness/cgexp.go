@@ -134,7 +134,8 @@ func HostCG(cfg Config, suite []*SuiteMatrix, threads, iters int) *Table {
 			built := Build(sm, f, pool)
 			x := make([]float64, n)
 			vec.Fill(pool, x, 0)
-			res := cg.Solve(built.Op(), pool, b, x, cg.Options{
+			// FixedIterations skips the breakdown checks, so no error.
+			res, _ := cg.Solve(built.Op(), pool, b, x, cg.Options{
 				MaxIter: iters, FixedIterations: true,
 			})
 			t.Rows = append(t.Rows, []string{

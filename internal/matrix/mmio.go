@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -20,12 +21,32 @@ import (
 // them.
 
 // ReadMatrixMarket parses a Matrix Market stream into a normalized COO.
+//
+// The parser is line-oriented (bufio.Scanner), which buys three robustness
+// properties the ReadString('\n') predecessor lacked: a final data line with
+// no trailing newline parses, CRLF line endings parse, and every diagnostic
+// carries the 1-based line number of the offending line. The input is
+// untrusted — indices that overflow int, entries outside the declared
+// dimensions, and files carrying more data lines than the size line declares
+// are all rejected, and the declared nnz only preallocates up to a fixed cap
+// so a lying size line in a small file cannot force a huge allocation.
 func ReadMatrixMarket(r io.Reader) (*COO, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineno := 0
+	// scan returns the next line (CR trimmed) with its number; ok=false at
+	// EOF or scanner error.
+	scan := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		lineno++
+		return strings.TrimSuffix(sc.Text(), "\r"), true
+	}
 
-	header, err := br.ReadString('\n')
-	if err != nil {
-		return nil, fmt.Errorf("matrixmarket: reading header: %w", err)
+	header, ok := scan()
+	if !ok {
+		return nil, fmt.Errorf("matrixmarket: reading header: %w", scanErr(sc))
 	}
 	fields := strings.Fields(strings.ToLower(header))
 	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
@@ -52,82 +73,110 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 	// Skip comments, read the size line.
 	var sizeLine string
 	for {
-		line, err := br.ReadString('\n')
-		if err != nil && line == "" {
-			return nil, fmt.Errorf("matrixmarket: missing size line: %w", err)
+		line, ok := scan()
+		if !ok {
+			return nil, fmt.Errorf("matrixmarket: missing size line: %w", scanErr(sc))
 		}
 		t := strings.TrimSpace(line)
 		if t == "" || strings.HasPrefix(t, "%") {
-			if err != nil {
-				return nil, fmt.Errorf("matrixmarket: missing size line: %w", err)
-			}
 			continue
 		}
 		sizeLine = t
 		break
 	}
-	var rows, cols, nnz int
-	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
-		return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", sizeLine, err)
+	f := strings.Fields(sizeLine)
+	if len(f) != 3 {
+		return nil, fmt.Errorf("matrixmarket: line %d: bad size line %q", lineno, sizeLine)
 	}
-	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("matrixmarket: negative dimension in size line %q", sizeLine)
+	rows, err1 := strconv.Atoi(f[0])
+	cols, err2 := strconv.Atoi(f[1])
+	nnz, err3 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("matrixmarket: line %d: bad size line %q", lineno, sizeLine)
+	}
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		// COO stores coordinates as int32; larger declared dims would
+		// silently truncate every index.
+		return nil, fmt.Errorf("matrixmarket: line %d: dimensions %dx%d exceed %d", lineno, rows, cols, math.MaxInt32)
 	}
 
-	m := NewCOO(rows, cols, nnz)
+	// The declared nnz is a capacity hint from untrusted input: cap it so a
+	// size line claiming 10^15 entries in a 100-byte file costs at most one
+	// modest allocation. Append growth covers honest large files.
+	hint := nnz
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	m := NewCOO(rows, cols, hint)
 	m.Symmetric = symmetry == "symmetric"
 	if m.Symmetric && rows != cols {
 		return nil, fmt.Errorf("matrixmarket: symmetric %dx%d matrix is not square", rows, cols)
 	}
 
 	read := 0
-	for read < nnz {
-		line, err := br.ReadString('\n')
+	for {
+		line, ok := scan()
+		if !ok {
+			break
+		}
 		t := strings.TrimSpace(line)
-		if t != "" && !strings.HasPrefix(t, "%") {
-			f := strings.Fields(t)
-			want := 3
-			if field == "pattern" {
-				want = 2
-			}
-			if len(f) < want {
-				return nil, fmt.Errorf("matrixmarket: entry %d: short line %q", read+1, t)
-			}
-			r1, err1 := strconv.Atoi(f[0])
-			c1, err2 := strconv.Atoi(f[1])
-			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("matrixmarket: entry %d: bad indices in %q", read+1, t)
-			}
-			v := 1.0
-			if field != "pattern" {
-				v, err1 = strconv.ParseFloat(f[2], 64)
-				if err1 != nil {
-					return nil, fmt.Errorf("matrixmarket: entry %d: bad value in %q", read+1, t)
-				}
-			}
-			r0, c0 := r1-1, c1-1 // Matrix Market is 1-based
-			if r0 < 0 || r0 >= rows || c0 < 0 || c0 >= cols {
-				return nil, fmt.Errorf("matrixmarket: entry %d at (%d,%d) outside %dx%d", read+1, r1, c1, rows, cols)
-			}
-			if m.Symmetric && c0 > r0 {
-				// UF symmetric files store the lower triangle, but be liberal:
-				// mirror stray upper entries down.
-				r0, c0 = c0, r0
-			}
-			m.Add(r0, c0, v)
-			read++
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
 		}
-		if err != nil {
-			if err == io.EOF && read == nnz {
-				break
-			}
-			if err == io.EOF {
-				return nil, fmt.Errorf("matrixmarket: expected %d entries, got %d", nnz, read)
-			}
-			return nil, fmt.Errorf("matrixmarket: entry %d: %w", read+1, err)
+		if read == nnz {
+			// More data lines than the size line declares: for symmetric
+			// files the mirrored extras would silently double entries, so
+			// reject rather than ignore.
+			return nil, fmt.Errorf("matrixmarket: line %d: data after the %d declared entries", lineno, nnz)
 		}
+		f := strings.Fields(t)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("matrixmarket: line %d: short line %q", lineno, t)
+		}
+		r1, err1 := strconv.Atoi(f[0])
+		c1, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("matrixmarket: line %d: bad indices in %q", lineno, t)
+		}
+		v := 1.0
+		if field != "pattern" {
+			v, err1 = strconv.ParseFloat(f[2], 64)
+			if err1 != nil {
+				return nil, fmt.Errorf("matrixmarket: line %d: bad value in %q", lineno, t)
+			}
+		}
+		r0, c0 := r1-1, c1-1 // Matrix Market is 1-based
+		if r0 < 0 || r0 >= rows || c0 < 0 || c0 >= cols {
+			return nil, fmt.Errorf("matrixmarket: line %d: entry (%d,%d) outside %dx%d", lineno, r1, c1, rows, cols)
+		}
+		if m.Symmetric && c0 > r0 {
+			// UF symmetric files store the lower triangle, but be liberal:
+			// mirror stray upper entries down.
+			r0, c0 = c0, r0
+		}
+		m.Add(r0, c0, v)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrixmarket: line %d: %w", lineno+1, err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("matrixmarket: expected %d entries, got %d", nnz, read)
 	}
 	return m.Normalize(), nil
+}
+
+// scanErr maps a stopped Scanner to the error to report: its own error if it
+// hit one, io.ErrUnexpectedEOF if the input simply ran out.
+func scanErr(sc *bufio.Scanner) error {
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF
 }
 
 // WriteMatrixMarket writes m in Matrix Market coordinate real format,

@@ -69,11 +69,56 @@ func TestReadMatrixMarketErrors(t *testing.T) {
 		"short entries":   "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
 		"out of range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
 		"malformed value": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		// Regression cases for the hardened parser: each of these was
+		// accepted (or mis-handled) by the pre-Scanner implementation.
+		"extra entries":         "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+		"extra entries sym":     "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 1.0\n2 2 2.0\n",
+		"index overflows int":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n92233720368547758080 1 1.0\n",
+		"dims overflow int32":   "%%MatrixMarket matrix coordinate real general\n4294967296 4294967296 1\n1 1 1.0\n",
+		"size line overflow":    "%%MatrixMarket matrix coordinate real general\n92233720368547758080 2 1\n1 1 1.0\n",
+		"four-field size line":  "%%MatrixMarket matrix coordinate real general\n2 2 1 9\n1 1 1.0\n",
+		"missing size line":     "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+		"lying nnz (too large)": "%%MatrixMarket matrix coordinate real general\n2 2 1000000000000\n1 1 1.0\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error, got none", name)
 		}
+	}
+}
+
+func TestReadMatrixMarketLineNumbers(t *testing.T) {
+	// Diagnostics must name the offending 1-based line: the bad value here
+	// sits on line 5 (header, comment, size line, good entry, bad entry).
+	in := "%%MatrixMarket matrix coordinate real general\n% comment\n2 2 2\n1 1 1.0\n2 2 abc\n"
+	_, err := ReadMatrixMarket(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error %q does not name line 5", err)
+	}
+}
+
+func TestReadMatrixMarketNoTrailingNewline(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 2.0"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.Val[1] != 2.0 {
+		t.Fatalf("parsed %d entries, vals %v", m.NNZ(), m.Val)
+	}
+}
+
+func TestReadMatrixMarketCRLF(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real symmetric\r\n% dos file\r\n2 2 2\r\n1 1 4.0\r\n2 1 -1.0\r\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Symmetric || m.NNZ() != 2 || m.Val[0] != 4.0 {
+		t.Fatalf("CRLF parse: sym=%v nnz=%d vals=%v", m.Symmetric, m.NNZ(), m.Val)
 	}
 }
 

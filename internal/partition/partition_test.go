@@ -118,6 +118,79 @@ func TestQuickByNNZValid(t *testing.T) {
 	}
 }
 
+// TestEmptyChunksAreWellFormed pins the shape of the empty chunks both
+// strategies emit when threads outnumber rows: every empty chunk has
+// Start == End, carries zero nonzeros, and sits at a position consistent
+// with the ordered cover — the invariants the kernels' per-thread loops
+// and the reduction phases rely on to do nothing gracefully.
+func TestEmptyChunksAreWellFormed(t *testing.T) {
+	check := func(name string, rp *RowPartition, n int, ptr []int32) {
+		t.Helper()
+		if err := rp.Validate(n); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		empty := 0
+		for i := 0; i < rp.P(); i++ {
+			if rp.Start[i] == rp.End[i] {
+				empty++
+				if nnz := rp.NNZOf(ptr, i); nnz != 0 {
+					t.Errorf("%s: empty chunk %d claims %d nonzeros", name, i, nnz)
+				}
+			}
+		}
+		if want := rp.P() - n; n < rp.P() && empty < want {
+			t.Errorf("%s: %d chunks for %d rows but only %d empty (want ≥ %d)",
+				name, rp.P(), n, empty, want)
+		}
+	}
+
+	for _, tc := range []struct{ n, p int }{
+		{0, 1}, {0, 4}, {1, 8}, {3, 8}, {5, 130},
+	} {
+		counts := make([]int32, tc.n)
+		for i := range counts {
+			counts[i] = int32(i%3 + 1)
+		}
+		ptr := rowPtrOf(counts)
+		check("Uniform", Uniform(tc.n, tc.p), tc.n, ptr)
+		check("ByNNZ", ByNNZ(ptr, tc.p), tc.n, ptr)
+	}
+
+	// Zero-row chunks can also appear mid-sequence when interior rows are
+	// empty and one row dwarfs the rest.
+	ptr := rowPtrOf([]int32{0, 0, 1000, 0, 0})
+	check("ByNNZ/hollow", ByNNZ(ptr, 4), 5, ptr)
+}
+
+// TestByNNZZeroMatrix: a matrix with rows but no stored entries must still
+// partition into a valid cover (targets are all zero).
+func TestByNNZZeroMatrix(t *testing.T) {
+	ptr := rowPtrOf(make([]int32, 7))
+	for _, p := range []int{1, 3, 7, 20} {
+		rp := ByNNZ(ptr, p)
+		if err := rp.Validate(7); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if imb := rp.Imbalance(ptr); imb != 1 {
+			t.Errorf("p=%d: Imbalance on all-zero matrix = %v, want 1", p, imb)
+		}
+	}
+}
+
+// TestOwnerWithEmptyChunks: Owner must return a chunk that actually contains
+// the row even when empty chunks surround it.
+func TestOwnerWithEmptyChunks(t *testing.T) {
+	ptr := rowPtrOf([]int32{9, 9, 9})
+	rp := ByNNZ(ptr, 8) // 5 trailing empty chunks
+	for r := int32(0); r < 3; r++ {
+		o := rp.Owner(r)
+		if r < rp.Start[o] || r >= rp.End[o] {
+			t.Errorf("Owner(%d) = chunk %d [%d,%d) which does not contain it",
+				r, o, rp.Start[o], rp.End[o])
+		}
+	}
+}
+
 func TestValidateRejectsBadPartitions(t *testing.T) {
 	bad := &RowPartition{Start: []int32{0, 5}, End: []int32{4, 10}} // gap
 	if err := bad.Validate(10); err == nil {

@@ -388,6 +388,12 @@ func (k *boundKernel) Close() {
 // CGResult reports a conjugate-gradient solve.
 type CGResult = cg.Result
 
+// CGBreakdownError is the typed error SolveCG/SolveCGJacobi return when the
+// CG recurrence breaks down (non-SPD operator or non-finite arithmetic);
+// match it with errors.As. Failing to converge within MaxIter is not a
+// breakdown — check CGResult.Converged for that.
+type CGBreakdownError = cg.BreakdownError
+
 // CGOptions configures SolveCG.
 type CGOptions struct {
 	// MaxIter caps iterations (default 10·N).
@@ -410,11 +416,10 @@ func SolveCG(k Kernel, b, x []float64, opts CGOptions) (CGResult, error) {
 	if err != nil {
 		return CGResult{}, err
 	}
-	res := cg.Solve(bk.cgOperator(), bk.pool, b, x, cg.Options{
+	return cg.Solve(bk.cgOperator(), bk.pool, b, x, cg.Options{
 		MaxIter: opts.MaxIter,
 		Tol:     opts.Tol,
 	})
-	return res, nil
 }
 
 // SolveCGJacobi solves A·x = b with Jacobi-(diagonal-)preconditioned CG.
@@ -430,11 +435,10 @@ func SolveCGJacobi(a *Matrix, k Kernel, b, x []float64, opts CGOptions) (CGResul
 	if a.sss.N != bk.n {
 		return CGResult{}, fmt.Errorf("symspmv: SolveCGJacobi: matrix N=%d, kernel N=%d", a.sss.N, bk.n)
 	}
-	res := cg.SolvePCG(cg.MulVecFunc(bk.mul), cg.NewJacobi(a.sss.DValues), bk.pool, b, x, cg.Options{
+	return cg.SolvePCG(cg.MulVecFunc(bk.mul), cg.NewJacobi(a.sss.DValues), bk.pool, b, x, cg.Options{
 		MaxIter: opts.MaxIter,
 		Tol:     opts.Tol,
 	})
-	return res, nil
 }
 
 func checkKernel(k Kernel, b, x []float64, op string) (*boundKernel, error) {
