@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored vet bench bench-json ci tune-demo telemetry-smoke fuzz-smoke
+.PHONY: all build test race race-colored vet bench bench-json bench-spmm bench-smoke ci tune-demo telemetry-smoke fuzz-smoke
 
 all: build
 
@@ -35,6 +35,21 @@ bench:
 bench-json:
 	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr3.json
 
+# bench-spmm sweeps multi-RHS widths (scalar, spmm2/4/8, each with and
+# without hub caching where the analysis finds a hub) over a paper-suite
+# subset plus the synthetic power-law hub matrices, and writes the
+# machine-readable record to BENCH_pr6.json. Scale 0.15 keeps the run short
+# while making x large enough that hub caching has cache pressure to relieve.
+bench-spmm:
+	$(GO) run ./cmd/spmv-bench -exp spmm-bench -scale 0.15 -iters 24 -matrices consph,bmw7st_1 -json BENCH_pr6.json
+
+# bench-smoke is the cheap CI gate for the SpMM fast path: it checks the
+# deterministic traffic model — matrix bytes per useful flop must fall
+# strictly as the RHS width grows — and runs each blocked width once.
+# Wall-clock is deliberately not asserted (CI machines are too noisy).
+bench-smoke:
+	$(GO) run ./cmd/spmv-bench -exp spmm-smoke -scale 0.01 -matrices consph
+
 # telemetry-smoke runs cg-solve with the metrics endpoint and trace writer
 # enabled, scrapes /metrics for the kernel phase histograms, and validates
 # the Chrome trace parses — the observability layer end to end.
@@ -56,9 +71,10 @@ fuzz-smoke:
 # ci is the gate for every change: vet (fails the build on findings), build,
 # the colored-schedule race focus, the full test suite under the race
 # detector (the execution engine's spin barrier and phase fusion are exactly
-# the kind of code -race exists for), the telemetry smoke, and the fuzz
-# smoke (differential checking plus a short run of each fuzz target).
-ci: vet build race-colored race telemetry-smoke fuzz-smoke
+# the kind of code -race exists for), the telemetry smoke, the fuzz smoke
+# (differential checking plus a short run of each fuzz target), and the SpMM
+# traffic-model smoke.
+ci: vet build race-colored race telemetry-smoke fuzz-smoke bench-smoke
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

@@ -63,6 +63,21 @@ func AutoReorder(enable bool) AutoOption {
 	return func(o *autoOpts) { o.tune.DisableReorder = !enable }
 }
 
+// AutoVectors tunes for the multi-RHS kernel (MulMat) with nv simultaneous
+// vectors instead of single-vector SpM×V. The plan space is restricted to
+// the SpMM-capable formats, reordered variants are dropped (the permutation
+// wrapper is single-vector), and the winning plan is cached per width.
+func AutoVectors(nv int) AutoOption {
+	return func(o *autoOpts) { o.tune.NV = nv }
+}
+
+// AutoHub enables or disables the hub-cached plan variants (default:
+// enabled; the tuner only generates them when the degree-skew signal and
+// the hub analysis both say caching could pay).
+func AutoHub(enable bool) AutoOption {
+	return func(o *autoOpts) { o.tune.DisableHub = !enable }
+}
+
 // AutoTrialIters sets the operation count of the first micro-trial round
 // (default 8); successive-halving rounds double it.
 func AutoTrialIters(n int) AutoOption {
@@ -143,7 +158,7 @@ func AutoKernel(a *Matrix, options ...AutoOption) (Kernel, *Decision, error) {
 		o.tune.Formats = append(o.tune.Formats, af)
 	}
 
-	key := autotune.Key{Fingerprint: autotune.Fingerprint(a.sss), Machine: autotune.MachineSignature()}
+	key := autotune.Key{Fingerprint: autotune.Fingerprint(a.sss), Machine: autotune.MachineSignature(), NV: o.tune.NV}
 	store := autotune.Store{Dir: o.cacheDir}
 	if !o.noCache {
 		// A corrupt or mismatched entry is a plain miss (the diagnostic is
@@ -190,8 +205,15 @@ func (a *Matrix) planKernel(plan autotune.Plan) (Kernel, error) {
 	if !ok {
 		return nil, fmt.Errorf("symspmv: plan format %v unknown", plan.Format)
 	}
+	opts := []Option{Threads(plan.Threads)}
+	if plan.Hub {
+		if plan.Reorder {
+			return nil, fmt.Errorf("symspmv: plan %v combines hub caching with reordering", plan)
+		}
+		opts = append(opts, HubCache())
+	}
 	if !plan.Reorder {
-		return a.Kernel(f, Threads(plan.Threads))
+		return a.Kernel(f, opts...)
 	}
 	rm, perm, err := a.ReorderRCM()
 	if err != nil {

@@ -1,0 +1,221 @@
+package symspmv
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildHubbySPD builds an SPD matrix with a few super-hub columns touched by
+// almost every row — the degree skew hub caching targets.
+func buildHubbySPD(t testing.TB, rng *rand.Rand, n int) *Matrix {
+	t.Helper()
+	b := NewBuilder(n)
+	rowAbs := make([]float64, n)
+	add := func(r, c int, v float64) {
+		b.Set(r, c, v)
+		rowAbs[r] += math.Abs(v)
+		rowAbs[c] += math.Abs(v)
+	}
+	for r := 4; r < n; r++ {
+		for h := 0; h < 4; h++ { // columns 0..3 are hubs
+			add(r, h, rng.NormFloat64())
+		}
+		add(r, 4+rng.Intn(r-4+1), rng.NormFloat64())
+	}
+	for r := 0; r < n; r++ {
+		b.Set(r, r, rowAbs[r]+1)
+	}
+	A, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return A
+}
+
+func TestHubCacheFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	A := buildHubbySPD(t, rng, 300)
+	n := A.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	A.MulVec(x, want)
+	for _, f := range []Format{SSSNaive, SSSEffective, SSSIndexed, SSSColored, CSXSym} {
+		k, err := A.Kernel(f, Threads(3), HubCache())
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !k.(*boundKernel).HubEnabled() {
+			t.Fatalf("%v: hub did not engage on a hub-heavy matrix", f)
+		}
+		y := make([]float64, n)
+		k.MulVec(x, y)
+		for i := range want {
+			if d := math.Abs(want[i] - y[i]); d > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%v: row %d differs by %g", f, i, d)
+			}
+		}
+		k.Close()
+	}
+
+	// Unprofitable analysis (a hub-free matrix) must silently build plain.
+	flat := buildRandomSPD(t, rng, 200, 2)
+	k, err := flat.Kernel(SSSIndexed, Threads(2), HubCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.(*boundKernel).HubEnabled() {
+		t.Fatal("hub engaged on a matrix with no degree skew")
+	}
+	k.Close()
+
+	// Forced thresholds engage it anyway.
+	kf, err := flat.Kernel(SSSIndexed, Threads(2),
+		HubCacheOptions(HubOptions{MaxCols: 16, MinDegree: 1, MinCoverage: -1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kf.(*boundKernel).HubEnabled() {
+		t.Fatal("forced hub thresholds did not engage")
+	}
+	kf.Close()
+
+	// Atomic and unsymmetric formats reject the option.
+	for _, f := range []Format{SSSAtomic, CSR, CSX, BCSR, CSB} {
+		if _, err := A.Kernel(f, Threads(2), HubCache()); err == nil {
+			t.Fatalf("%v: HubCache accepted", f)
+		}
+	}
+}
+
+func TestHubCacheMulMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	A := buildHubbySPD(t, rng, 250)
+	n := A.N()
+	const nv = 4
+	x := make([]float64, n*nv)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n*nv)
+	xc, yc := make([]float64, n), make([]float64, n)
+	for v := 0; v < nv; v++ {
+		for i := 0; i < n; i++ {
+			xc[i] = x[i*nv+v]
+		}
+		A.MulVec(xc, yc)
+		for i := 0; i < n; i++ {
+			want[i*nv+v] = yc[i]
+		}
+	}
+	for _, f := range []Format{SSSNaive, SSSEffective, SSSIndexed, SSSColored} {
+		k, err := A.Kernel(f, Threads(4), HubCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, n*nv)
+		if err := MulMat(k, x, y, nv); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		for i := range want {
+			if math.Abs(want[i]-y[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%v: component %d differs", f, i)
+			}
+		}
+		k.Close()
+	}
+}
+
+func TestMulMatTypedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	A := buildRandomSPD(t, rng, 60, 2)
+	n := A.N()
+
+	kx, err := A.Kernel(CSXSym, Threads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kx.Close()
+	var me *MulMatError
+	err = MulMat(kx, make([]float64, n*2), make([]float64, n*2), 2)
+	if !errors.As(err, &me) || me.Format != CSXSym || me.NV != 2 {
+		t.Fatalf("expected *MulMatError{CSXSym, 2}, got %v", err)
+	}
+
+	ka, err := A.Kernel(SSSAtomic, Threads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ka.Close()
+	if err := MulMat(ka, make([]float64, n*2), make([]float64, n*2), 2); !errors.As(err, &me) {
+		t.Fatalf("expected *MulMatError for atomic, got %v", err)
+	}
+
+	kr, err := A.Kernel(SSSIndexed, Threads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MulMat(kr, make([]float64, n), make([]float64, n), 0); !errors.As(err, &me) {
+		t.Fatalf("expected *MulMatError for nv=0, got %v", err)
+	}
+	if err := MulMat(kr, make([]float64, n), make([]float64, n*2), 2); !errors.As(err, &me) {
+		t.Fatalf("expected *MulMatError for short x, got %v", err)
+	}
+	kr.Close()
+	if err := MulMat(kr, make([]float64, n*2), make([]float64, n*2), 2); !errors.As(err, &me) {
+		t.Fatalf("expected *MulMatError on closed kernel, got %v", err)
+	}
+	if me.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestSolveCGBlockFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	A := buildHubbySPD(t, rng, 220)
+	n := A.N()
+	const nv = 4
+	xstar := make([]float64, n*nv)
+	for i := range xstar {
+		xstar[i] = rng.NormFloat64()
+	}
+	for _, opt := range [][]Option{{Threads(4)}, {Threads(4), HubCache()}} {
+		k, err := A.Kernel(SSSIndexed, opt...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n*nv)
+		if err := MulMat(k, xstar, b, nv); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n*nv)
+		res, err := SolveCGBlock(k, b, x, nv, CGOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllConverged() {
+			t.Fatalf("block CG did not converge: %v", res)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xstar[i]) > 1e-6 {
+				t.Fatalf("component %d: %g vs %g", i, x[i], xstar[i])
+			}
+		}
+		k.Close()
+	}
+
+	// Unsupported format surfaces the typed error.
+	kx, err := A.Kernel(CSB, Threads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kx.Close()
+	var me *MulMatError
+	if _, err := SolveCGBlock(kx, make([]float64, n*2), make([]float64, n*2), 2, CGOptions{}); !errors.As(err, &me) {
+		t.Fatalf("expected *MulMatError, got %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/csb"
 	"repro/internal/csr"
 	"repro/internal/csx"
+	"repro/internal/hub"
 	"repro/internal/matrix"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -82,6 +83,7 @@ type Plan struct {
 	Format  Format
 	Threads int
 	Reorder bool // build on the RCM-permuted matrix, permuting x/y around the kernel
+	Hub     bool // hub-cached x access (symmetric formats on degree-skewed matrices)
 }
 
 // String renders the plan compactly, e.g. "SSS-indexed p=4 (RCM)".
@@ -90,7 +92,29 @@ func (p Plan) String() string {
 	if p.Reorder {
 		s += " (RCM)"
 	}
+	if p.Hub {
+		s += " +hub"
+	}
 	return s
+}
+
+// spmmCapable reports whether the format has a multi-RHS (SpMM) kernel: CSR
+// and the SSS family minus the single-vector-only atomic ablation.
+func (f Format) spmmCapable() bool {
+	switch f {
+	case CSR, SSSNaive, SSSEffective, SSSIndexed, SSSColored:
+		return true
+	}
+	return false
+}
+
+// hubCapable reports whether the format can run under a hub plan.
+func (f Format) hubCapable() bool {
+	switch f {
+	case SSSNaive, SSSEffective, SSSIndexed, SSSColored, CSXSym:
+		return true
+	}
+	return false
 }
 
 // Candidate reports one examined configuration for the Decision record.
@@ -163,6 +187,13 @@ type Options struct {
 	// (CSX-Sym encoding, BCSR block search) is spread over in the trial
 	// score — the expected lifetime of the kernel. Default 1000.
 	AmortizeOps int
+	// NV tunes for a multi-RHS (SpMM) workload over NV interleaved vectors
+	// instead of single-vector SpMV: the search space shrinks to the
+	// SpMM-capable formats, the model prices each candidate's SpMM sweep,
+	// and the micro-trials time MulMat. Default 1 (plain SpMV).
+	NV int
+	// DisableHub removes the hub-cached variants from the space.
+	DisableHub bool
 	// Platform overrides the model-stage platform (default a host-derived
 	// one from perfmodel.Host).
 	Platform *perfmodel.Platform
@@ -190,6 +221,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AmortizeOps <= 0 {
 		o.AmortizeOps = 1000
+	}
+	if o.NV < 1 {
+		o.NV = 1
+	}
+	if o.NV > 1 {
+		var kept []Format
+		for _, f := range o.Formats {
+			if f.spmmCapable() {
+				kept = append(kept, f)
+			}
+		}
+		o.Formats = kept
+		// The permuted-vector wrappers are single-vector; reordered plans
+		// have no SpMM path.
+		o.DisableReorder = true
 	}
 	return o
 }
@@ -226,6 +272,11 @@ type tuner struct {
 	colorMemo map[int]int // colored-schedule phase count per thread count
 
 	csrBuilt *csr.Matrix // memoized expanded operator
+
+	// Hub analysis, memoized: nil after hubDone means the matrix has no
+	// profitable hub at the default thresholds.
+	hubDone bool
+	hubP    *hub.Plan
 
 	// RCM-permuted structures, built lazily on first reordered trial.
 	rcmDone bool
@@ -295,16 +346,32 @@ func (t *tuner) closePools() {
 // reordering could pay. Returns the indices of the surviving candidates.
 func (t *tuner) modelStage() []int {
 	ps := threadCandidates(t.o.MaxThreads)
+	price := func(f Format, p int, reordered, hubbed bool) float64 {
+		c := t.modelCost(f, p, reordered)
+		if hubbed {
+			plan := t.hubPlan()
+			c = c.WithHub(plan.Covered, plan.K(), p)
+		}
+		return c.SpMM(t.o.NV).Seconds(t.pl, p)
+	}
 	for _, f := range t.o.Formats {
 		best := Candidate{Plan: Plan{Format: f}, ModeledSeconds: -1}
 		for _, p := range ps {
-			sec := t.modelCost(f, p, false).Seconds(t.pl, p)
+			sec := price(f, p, false, false)
 			if best.ModeledSeconds < 0 || sec < best.ModeledSeconds {
 				best.Plan.Threads = p
 				best.ModeledSeconds = sec
 			}
 		}
 		t.d.Candidates = append(t.d.Candidates, best)
+		// Hub-cached variant: only where the structure shows real degree
+		// skew AND the analysis finds a profitable hub. The skew gate keeps
+		// the O(nnz) hub analysis off mesh-like matrices entirely.
+		if !t.o.DisableHub && f.hubCapable() && t.feat.DegreeSkew >= 8 && t.hubPlan() != nil {
+			hc := Candidate{Plan: Plan{Format: f, Threads: best.Threads, Hub: true}}
+			hc.ModeledSeconds = price(f, best.Threads, false, true)
+			t.d.Candidates = append(t.d.Candidates, hc)
+		}
 	}
 
 	bestSec := -1.0
@@ -391,7 +458,7 @@ func (t *tuner) trialStage(survivors []int) error {
 		return errors.New("autotune: every candidate failed to build")
 	}
 
-	n := t.feat.N
+	n := t.feat.N * t.o.NV // NV>1 trials time the interleaved SpMM sweep
 	iters := t.o.TrialIters
 	for round := 1; ; round++ {
 		for _, tr := range live {
@@ -475,6 +542,17 @@ func renormalize(v []float64) {
 	}
 }
 
+// hubPlan memoizes the hub analysis at the default thresholds; nil when the
+// matrix has no profitable hub.
+func (t *tuner) hubPlan() *hub.Plan {
+	if !t.hubDone {
+		t.hubDone = true
+		s := t.pr.S
+		t.hubP = hub.Analyze(s.N, s.RowPtr, s.ColIdx, hub.DefaultOptions())
+	}
+	return t.hubP
+}
+
 // expandedCSR memoizes the full (expanded) operator for the CSR trials.
 func (t *tuner) expandedCSR() *csr.Matrix {
 	if t.csrBuilt == nil {
@@ -523,11 +601,21 @@ func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc
 
 	s, m := t.pr.S, t.pr.M
 	if plan.Reorder {
+		if plan.Hub {
+			return nil, 0, 0, fmt.Errorf("autotune: %v: hub variants are not generated for reordered plans", plan)
+		}
 		if err := t.reordered(); err != nil {
 			return nil, 0, 0, fmt.Errorf("autotune: RCM: %w", err)
 		}
 		s, m = t.rS, t.rM
 	}
+	var hp *hub.Plan
+	if plan.Hub {
+		if hp = t.hubPlan(); hp == nil {
+			return nil, 0, 0, fmt.Errorf("autotune: %v: no profitable hub", plan)
+		}
+	}
+	nv := t.o.NV
 	pool := t.pool(plan.Threads)
 	csxOpts := csx.DefaultOptions()
 	if t.o.CSXOptions != nil {
@@ -548,6 +636,9 @@ func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc
 		}
 		pk := csr.NewParallel(a, pool)
 		mul, bytes = pk.MulVec, a.Bytes()
+		if nv > 1 {
+			mul = func(x, y []float64) { pk.MulMat(x, y, nv) }
+		}
 	case BCSR:
 		br, bc, aerr := bcsr.AutoTune(m, nil)
 		if aerr != nil {
@@ -565,10 +656,25 @@ func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc
 			SSSIndexed: core.Indexed, SSSAtomic: core.Atomic,
 			SSSColored: core.Colored,
 		}[plan.Format]
-		k := core.NewKernel(s, method, pool)
+		k, kerr := core.NewKernelOpts(s, method, pool, core.KernelOptions{Hub: hp})
+		if kerr != nil {
+			return nil, 0, 0, kerr
+		}
 		mul, bytes = k.MulVec, s.Bytes()
+		if nv > 1 {
+			mul = func(x, y []float64) {
+				if merr := k.MulMat(x, y, nv); merr != nil {
+					panic(merr) // caught by the build recover; arguments are tuner-controlled
+				}
+			}
+		}
 	case CSXSym:
-		smx := csx.NewSym(s, plan.Threads, core.Indexed, csxOpts)
+		var smx *csx.SymMatrix
+		if hp != nil {
+			smx = csx.NewSymHub(s, plan.Threads, core.Indexed, csxOpts, hp)
+		} else {
+			smx = csx.NewSym(s, plan.Threads, core.Indexed, csxOpts)
+		}
 		mul = func(x, y []float64) { smx.MulVec(pool, x, y) }
 		bytes = smx.Bytes()
 	case CSBSym:

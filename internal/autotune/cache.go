@@ -5,8 +5,8 @@ package autotune
 // (internal/csx/serialize.go) the format is versioned and checksummed:
 //
 //	magic "ATNC" | version u32 |
-//	fingerprint u64 | machineLen u32 | machine bytes |
-//	format u32 | threads u32 | reorder u8 | scoreNs f64 |
+//	fingerprint u64 | machineLen u32 | machine bytes | nv u32 |
+//	format u32 | threads u32 | reorder u8 | hub u8 | scoreNs f64 |
 //	crc32 (IEEE) of everything above
 //
 // All integers are little-endian. A file that is truncated, bit-flipped,
@@ -53,19 +53,30 @@ func CacheStats() (hits, misses, corrupt int64) {
 
 const (
 	cacheMagic = "ATNC"
-	// cacheVersion 2: the plan space gained the SSS-colored (conflict-free)
-	// format. Entries tuned against the v1 space never raced a colored plan,
-	// so replaying them would silently pin a possibly-stale decision; the
-	// bump makes every v1 entry read as a clean miss and retune.
-	cacheVersion = 2
+	// cacheVersion 3: the plan space gained hub-cached variants and
+	// multi-RHS (NV>1) tuning, and the entry format gained the hub flag and
+	// the NV the plan was tuned for. v2 entries never raced a hub plan and
+	// carry no NV, so they read as a clean miss and retune. (v2 itself added
+	// the SSS-colored format over v1, for the same reason.)
+	cacheVersion = 3
 )
 
-// Key identifies one tuning-cache entry: the matrix structure fingerprint
-// plus the machine signature. Values are excluded from the fingerprint on
-// purpose — the plan depends only on structure.
+// Key identifies one tuning-cache entry: the matrix structure fingerprint,
+// the machine signature, and the vector count the plan was tuned for (0 and
+// 1 both mean single-vector SpMV). Values are excluded from the fingerprint
+// on purpose — the plan depends only on structure.
 type Key struct {
 	Fingerprint uint64
 	Machine     string
+	NV          int
+}
+
+// nv normalizes the vector count (0 → 1).
+func (k Key) nv() uint32 {
+	if k.NV < 1 {
+		return 1
+	}
+	return uint32(k.NV)
 }
 
 // Fingerprint hashes the matrix structure (dimension and sparsity pattern,
@@ -129,8 +140,13 @@ type Store struct {
 // path derives the entry file name: the structure fingerprint in hex plus a
 // short hash of the machine signature.
 func (st Store) path(k Key) string {
-	return filepath.Join(st.Dir, fmt.Sprintf("plan-%016x-%08x.atc",
-		k.Fingerprint, crc32.ChecksumIEEE([]byte(k.Machine))))
+	name := fmt.Sprintf("plan-%016x-%08x", k.Fingerprint, crc32.ChecksumIEEE([]byte(k.Machine)))
+	if nv := k.nv(); nv > 1 {
+		// SpMM plans live beside the SpMV plan of the same matrix, one file
+		// per tuned width.
+		name += fmt.Sprintf("-nv%d", nv)
+	}
+	return filepath.Join(st.Dir, name+".atc")
 }
 
 // Save persists the plan for key, creating Dir if needed. The write goes
@@ -149,13 +165,18 @@ func (st Store) Save(k Key, p Plan, scoreNs float64) error {
 	put(k.Fingerprint)
 	put(uint32(len(k.Machine)))
 	w.Write([]byte(k.Machine))
+	put(k.nv())
 	put(uint32(p.Format))
 	put(uint32(p.Threads))
-	var re uint8
+	var re, hb uint8
 	if p.Reorder {
 		re = 1
 	}
+	if p.Hub {
+		hb = 1
+	}
 	put(re)
+	put(hb)
 	put(scoreNs)
 	binary.Write(&body, binary.LittleEndian, crc.Sum32())
 
@@ -229,9 +250,12 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if _, err := io.ReadFull(tr, machine); err != nil {
 		return Plan{}, fmt.Errorf("reading machine signature: %w", err)
 	}
-	var format, threads uint32
-	var re uint8
+	var nv, format, threads uint32
+	var re, hb uint8
 	var score float64
+	if err := get(&nv); err != nil {
+		return Plan{}, err
+	}
 	if err := get(&format); err != nil {
 		return Plan{}, err
 	}
@@ -239,6 +263,9 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 		return Plan{}, err
 	}
 	if err := get(&re); err != nil {
+		return Plan{}, err
+	}
+	if err := get(&hb); err != nil {
 		return Plan{}, err
 	}
 	if err := get(&score); err != nil {
@@ -252,8 +279,8 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if gotSum != wantSum {
 		return Plan{}, fmt.Errorf("checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
 	}
-	if fp != k.Fingerprint || string(machine) != k.Machine {
-		return Plan{}, fmt.Errorf("entry keyed to a different matrix or machine")
+	if fp != k.Fingerprint || string(machine) != k.Machine || nv != k.nv() {
+		return Plan{}, fmt.Errorf("entry keyed to a different matrix, machine, or vector count")
 	}
 	if format >= uint32(NumFormats) {
 		return Plan{}, fmt.Errorf("unknown format %d", format)
@@ -261,7 +288,7 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if threads == 0 || threads > 1<<16 {
 		return Plan{}, fmt.Errorf("implausible thread count %d", threads)
 	}
-	return Plan{Format: Format(format), Threads: int(threads), Reorder: re != 0}, nil
+	return Plan{Format: Format(format), Threads: int(threads), Reorder: re != 0, Hub: hb != 0}, nil
 }
 
 // DefaultCacheDir is the conventional persistent cache location

@@ -113,7 +113,7 @@ func TestStoreRejectsForeignKey(t *testing.T) {
 	if ok || err == nil {
 		t.Fatalf("foreign key: plan %v ok %v err %v, want miss + error", p, ok, err)
 	}
-	if !strings.Contains(err.Error(), "different matrix or machine") {
+	if !strings.Contains(err.Error(), "different matrix, machine, or vector count") {
 		t.Fatalf("foreign key diagnostic = %v", err)
 	}
 }

@@ -20,10 +20,18 @@ package core
 // identical to a dot of the finished output.
 func (k *Kernel) assembleColored(dot []float64) []func(tid int) {
 	phases := make([]func(int), 0, k.sched.NumColors+2)
-	phases = append(phases, func(tid int) { k.diagInitT(tid, k.curX, k.curY) })
+	init := func(tid int) { k.diagInitT(tid, k.curX, k.curY) }
+	if k.hubPlan != nil {
+		init = func(tid int) { k.prefillHotT(tid, k.curX); k.diagInitT(tid, k.curX, k.curY) }
+	}
+	phases = append(phases, init)
 	for c := 0; c < k.sched.NumColors; c++ {
 		assign := k.sched.Assign[c]
-		phases = append(phases, func(tid int) { k.colorBlocksT(assign[tid], k.curX, k.curY) })
+		if k.hubPlan != nil {
+			phases = append(phases, func(tid int) { k.colorBlocksHubT(tid, assign[tid], k.curX, k.curY) })
+		} else {
+			phases = append(phases, func(tid int) { k.colorBlocksT(assign[tid], k.curX, k.curY) })
+		}
 	}
 	if dot != nil {
 		phases = append(phases, func(tid int) { dot[tid*DotStride] = k.dotChunkColoredT(tid, k.curX, k.curY) })
@@ -80,30 +88,56 @@ func (k *Kernel) Colors() int {
 	return k.sched.NumColors
 }
 
-// mulMatColored runs the nv-wide SpMM over the same schedule: the colored
-// method needs no wide local vectors at all, each phase writes the
-// interleaved output directly.
-func (k *Kernel) mulMatColored(x, y []float64, nv int) {
+// assembleColoredMat assembles the cached nv-wide SpMM phase list over the
+// same schedule: the colored method needs no wide local vectors at all,
+// each phase writes the interleaved output directly (multi-RHS costs zero
+// extra reduction). nv ∈ {2, 4, 8} run register-blocked color bodies (see
+// mulmat_blocked.go); other widths and hub plans run the generic body.
+func (k *Kernel) assembleColoredMat(nv int) []func(tid int) {
 	phases := make([]func(int), 0, k.sched.NumColors+1)
-	phases = append(phases, func(tid int) {
-		s := k.S
-		for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
-			d := s.DValues[r]
-			ri := int(r) * nv
-			for v := 0; v < nv; v++ {
-				y[ri+v] = d * x[ri+v]
-			}
-		}
-	})
+	init := func(tid int) { k.diagInitMatT(tid, nv) }
+	if k.hubPlan != nil {
+		init = func(tid int) { k.prefillHotMatT(tid, nv); k.diagInitMatT(tid, nv) }
+	}
+	phases = append(phases, init)
 	for c := 0; c < k.sched.NumColors; c++ {
 		assign := k.sched.Assign[c]
-		phases = append(phases, func(tid int) { k.colorBlocksMatT(assign[tid], x, y, nv) })
+		var ph func(int)
+		switch {
+		case k.hubPlan != nil:
+			ph = func(tid int) { k.colorBlocksMatHubT(tid, assign[tid], nv) }
+		case nv == 2:
+			ph = func(tid int) { k.colorBlocksMat2T(assign[tid]) }
+		case nv == 4:
+			ph = func(tid int) { k.colorBlocksMat4T(assign[tid]) }
+		case nv == 8:
+			ph = func(tid int) { k.colorBlocksMat8T(assign[tid]) }
+		default:
+			ph = func(tid int) { k.colorBlocksMatT(assign[tid], nv) }
+		}
+		phases = append(phases, ph)
 	}
-	k.pool.RunPhases(phases...)
+	return phases
 }
 
-func (k *Kernel) colorBlocksMatT(blocks []int32, x, y []float64, nv int) {
+// diagInitMatT seeds thread tid's uniform row chunk of the interleaved
+// output with the diagonal contribution.
+func (k *Kernel) diagInitMatT(tid, nv int) {
 	s := k.S
+	x, y := k.curX, k.curY
+	for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
+		d := s.DValues[r]
+		ri := int(r) * nv
+		for v := 0; v < nv; v++ {
+			y[ri+v] = d * x[ri+v]
+		}
+	}
+}
+
+// colorBlocksMatT is the generic-nv colored SpMM color phase.
+func (k *Kernel) colorBlocksMatT(blocks []int32, nv int) {
+	s := k.S
+	x, y := k.curX, k.curY
 	part := k.sched.Part
 	for _, b := range blocks {
 		for r := part.Start[b]; r < part.End[b]; r++ {

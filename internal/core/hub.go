@@ -1,0 +1,235 @@
+package core
+
+// Hub-cached multiply bodies: identical to their plain counterparts except
+// the inner loop walks the hub plan's encoded ColIdx copy and serves
+// encoded gathers from the worker's private hot window. A negative entry
+// -(slot+1) decodes as slot = ^enc[j]; the symmetric write side and the
+// effective-ranges ownership test still need the real column, recovered
+// from the slot→column table. Arithmetic order per element is unchanged, so
+// hub kernels produce bitwise-identical results to the plain ones.
+//
+// Each worker refills its own hot window at the start of its first phase
+// (prefillHotT / prefillHotMatT): the windows are private and x is
+// read-only during the operation, so no extra barrier is needed. K is a few
+// hundred, so the refill is noise next to the nnz loop while keeping the
+// window coherent with the caller's current x.
+
+// prefillHotT copies the hub columns of x into worker tid's scalar window.
+func (k *Kernel) prefillHotT(tid int, x []float64) {
+	hot := k.hotX[tid]
+	for s, c := range k.hubPlan.Cols {
+		hot[s] = x[c]
+	}
+}
+
+// multiplyNaiveHubT is multiplyNaiveT over the encoded column stream.
+func (k *Kernel) multiplyNaiveHubT(tid int, x []float64) {
+	s := k.S
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotX[tid]
+	local := k.LV.Vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		xr := x[r]
+		acc := s.DValues[r] * xr
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := enc[j]
+			v := s.Val[j]
+			var xc float64
+			if c < 0 {
+				slot := ^c
+				xc = hot[slot]
+				c = cols[slot]
+			} else {
+				xc = x[c]
+			}
+			acc += v * xc
+			local[c] += v * xr
+		}
+		local[r] += acc
+	}
+}
+
+// multiplyEffectiveHubT is multiplyEffectiveT over the encoded column
+// stream; the direct-vs-local routing test uses the decoded real column.
+func (k *Kernel) multiplyEffectiveHubT(tid int, x, y []float64) {
+	s := k.S
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotX[tid]
+	local := k.LV.Vecs[tid]
+	startT := k.Part.Start[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		xr := x[r]
+		acc := s.DValues[r] * xr
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := enc[j]
+			v := s.Val[j]
+			var xc float64
+			if c < 0 {
+				slot := ^c
+				xc = hot[slot]
+				c = cols[slot]
+			} else {
+				xc = x[c]
+			}
+			acc += v * xc
+			if c >= startT {
+				y[c] += v * xr
+			} else {
+				local[c] += v * xr
+			}
+		}
+		y[r] = acc
+	}
+}
+
+// colorBlocksHubT is colorBlocksT over the encoded column stream.
+func (k *Kernel) colorBlocksHubT(tid int, blocks []int32, x, y []float64) {
+	s := k.S
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotX[tid]
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			xr := x[r]
+			acc := 0.0
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				c := enc[j]
+				v := s.Val[j]
+				var xc float64
+				if c < 0 {
+					slot := ^c
+					xc = hot[slot]
+					c = cols[slot]
+				} else {
+					xc = x[c]
+				}
+				acc += v * xc
+				y[c] += v * xr
+			}
+			y[r] += acc
+		}
+	}
+}
+
+// prefillHotMatT copies the hub rows of the interleaved X into worker tid's
+// SpMM window: hot[slot·nv+v] = x[col·nv+v].
+func (k *Kernel) prefillHotMatT(tid, nv int) {
+	x := k.curX
+	hot := k.hotMat[tid]
+	for s, c := range k.hubPlan.Cols {
+		copy(hot[s*nv:s*nv+nv], x[int(c)*nv:int(c)*nv+nv])
+	}
+}
+
+// mulMatNaiveHubT is the hub variant of the generic-nv naive SpMM multiply.
+func (k *Kernel) mulMatNaiveHubT(tid, nv int) {
+	s := k.S
+	x := k.curX
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotMat[tid]
+	local := k.wide.vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * nv
+		d := s.DValues[r]
+		for v := 0; v < nv; v++ {
+			local[ri+v] += d * x[ri+v]
+		}
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := enc[j]
+			a := s.Val[j]
+			xc := x
+			var ci int
+			if c < 0 {
+				slot := ^c
+				xc = hot
+				ci = int(slot) * nv
+				c = cols[slot]
+			} else {
+				ci = int(c) * nv
+			}
+			li := int(c) * nv
+			for v := 0; v < nv; v++ {
+				local[ri+v] += a * xc[ci+v]
+				local[li+v] += a * x[ri+v]
+			}
+		}
+	}
+}
+
+// mulMatEffectiveHubT is the hub variant of the generic-nv effective-ranges
+// SpMM multiply (also used by the Indexed method).
+func (k *Kernel) mulMatEffectiveHubT(tid, nv int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotMat[tid]
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * nv
+		d := s.DValues[r]
+		for v := 0; v < nv; v++ {
+			y[ri+v] = d * x[ri+v]
+		}
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := int(enc[j])
+			a := s.Val[j]
+			xc := x
+			var ci int
+			if c < 0 {
+				slot := ^c
+				xc = hot
+				ci = slot * nv
+				c = int(cols[slot])
+			} else {
+				ci = c * nv
+			}
+			wi := c * nv
+			if c >= startT {
+				for v := 0; v < nv; v++ {
+					y[ri+v] += a * xc[ci+v]
+					y[wi+v] += a * x[ri+v]
+				}
+			} else {
+				for v := 0; v < nv; v++ {
+					y[ri+v] += a * xc[ci+v]
+					local[wi+v] += a * x[ri+v]
+				}
+			}
+		}
+	}
+}
+
+// colorBlocksMatHubT is the hub variant of the generic-nv colored SpMM
+// color phase.
+func (k *Kernel) colorBlocksMatHubT(tid int, blocks []int32, nv int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotMat[tid]
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			ri := int(r) * nv
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				c := int(enc[j])
+				a := s.Val[j]
+				xc := x
+				var ci int
+				if c < 0 {
+					slot := ^c
+					xc = hot
+					ci = slot * nv
+					c = int(cols[slot])
+				} else {
+					ci = c * nv
+				}
+				wi := c * nv
+				for v := 0; v < nv; v++ {
+					y[ri+v] += a * xc[ci+v]
+					y[wi+v] += a * x[ri+v]
+				}
+			}
+		}
+	}
+}

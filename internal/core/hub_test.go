@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hub"
+	"repro/internal/parallel"
+)
+
+// forcedHub analyzes s with thresholds loosened so even small test matrices
+// get a plan.
+func forcedHub(t *testing.T, s *SSS) *hub.Plan {
+	t.Helper()
+	plan := hub.Analyze(s.N, s.RowPtr, s.ColIdx, hub.Options{MaxCols: 32, MinDegree: 1, MinCoverage: 0})
+	if plan == nil {
+		t.Fatal("hub.Analyze returned nil with forced thresholds")
+	}
+	return plan
+}
+
+// Hub-cached kernels walk the encoded column stream but perform the same
+// additions in the same order, so both MulVec and MulMat must be bitwise
+// identical to the plain kernel.
+func TestHubKernelMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for _, n := range []int{30, 400} {
+		m := randomSymmetric(t, rng, n, 6)
+		s, err := FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := forcedHub(t, s)
+		for _, p := range []int{1, 4} {
+			pool := parallel.NewPool(p)
+			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Colored} {
+				plain := NewKernel(s, method, pool)
+				hubbed, err := NewKernelOpts(s, method, pool, KernelOptions{Hub: plan})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hubbed.Hub() != plan {
+					t.Fatal("Hub() does not report the plan")
+				}
+				x := make([]float64, n)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				want := make([]float64, n)
+				got := make([]float64, n)
+				plain.MulVec(x, want)
+				hubbed.MulVec(x, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d p=%d %v: hub MulVec row %d = %g, plain = %g", n, p, method, i, got[i], want[i])
+					}
+				}
+				for _, nv := range []int{2, 3, 4, 8} {
+					xm := make([]float64, n*nv)
+					for i := range xm {
+						xm[i] = rng.NormFloat64()
+					}
+					wantM := make([]float64, n*nv)
+					gotM := make([]float64, n*nv)
+					if err := plain.MulMat(xm, wantM, nv); err != nil {
+						t.Fatal(err)
+					}
+					if err := hubbed.MulMat(xm, gotM, nv); err != nil {
+						t.Fatal(err)
+					}
+					if d := maxRelDiff(wantM, gotM); d > 1e-13 {
+						t.Fatalf("n=%d p=%d %v nv=%d: hub MulMat differs by %g", n, p, method, nv, d)
+					}
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+func TestHubKernelOptionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	m := randomSymmetric(t, rng, 40, 3)
+	s, _ := FromCOO(m)
+	plan := forcedHub(t, s)
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	if _, err := NewKernelOpts(s, Atomic, pool, KernelOptions{Hub: plan}); err == nil {
+		t.Fatal("expected an error for hub + Atomic")
+	}
+	bad := &hub.Plan{Cols: plan.Cols, Enc: plan.Enc[:len(plan.Enc)-1]}
+	if _, err := NewKernelOpts(s, Indexed, pool, KernelOptions{Hub: bad}); err == nil {
+		t.Fatal("expected an error for a mis-sized hub plan")
+	}
+}
+
+// The fused MulVecDot must agree with MulVec + a dot under a hub plan.
+func TestHubMulVecDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	m := randomSymmetric(t, rng, 150, 4)
+	s, _ := FromCOO(m)
+	plan := forcedHub(t, s)
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Colored} {
+		k, err := NewKernelOpts(s, method, pool, KernelOptions{Hub: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, s.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, s.N)
+		dot := k.MulVecDot(x, y)
+		want := make([]float64, s.N)
+		k.MulVec(x, want)
+		sum := 0.0
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("%v: MulVecDot y differs at row %d", method, i)
+			}
+			sum += x[i] * y[i]
+		}
+		if d := sum - dot; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("%v: MulVecDot = %g, serial dot = %g", method, dot, sum)
+		}
+	}
+}

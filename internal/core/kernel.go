@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/color"
+	"repro/internal/hub"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
@@ -94,20 +95,47 @@ type Kernel struct {
 	// wide holds the nv-wide local vectors of MulMat, sized lazily.
 	wide *wideLocals
 
+	// Hub-cached x access (see internal/hub): hubPlan carries the encoded
+	// ColIdx copy and the slot→column table; hotX[tid] is worker tid's
+	// private scalar hot window (length K), hotMat[tid] the interleaved
+	// SpMM window (length K·nv, sized by assembleMat). Each worker refills
+	// its own window at the start of its first phase, so the prefill rides
+	// inside the existing handoff with no extra barrier.
+	hubPlan *hub.Plan
+	hotX    [][]float64
+	hotMat  [][]float64
+
 	// curX/curY are the operands of the operation in flight. The phase lists
 	// are assembled once (phasesPlain in NewKernel, phasesDot on the first
-	// MulVecDot) as closures that read these fields, so repeated operations
-	// reuse the same closures and the hot path allocates nothing. A Kernel
-	// has never supported concurrent operations — it owns per-thread local
-	// vectors — so a single operand slot is safe.
+	// MulVecDot, phasesMat on the first MulMat of a given nv) as closures
+	// that read these fields, so repeated operations reuse the same closures
+	// and the hot path allocates nothing. A Kernel has never supported
+	// concurrent operations — it owns per-thread local vectors — so a single
+	// operand slot is safe.
 	curX, curY  []float64
 	phasesPlain []func(tid int)
 	phasesDot   []func(tid int)
+
+	// SpMM state: the phase list of the most recent MulMat vector count.
+	// Switching nv reassembles; steady-state block solvers reuse it.
+	phasesMat []func(tid int)
+	matNV     int
 
 	// Interned trace span names for each phase list, built on first sampled
 	// use (see obsmetrics.go).
 	traceNamesPlain []obs.NameID
 	traceNamesDot   []obs.NameID
+	traceNamesMat   []obs.NameID
+}
+
+// KernelOptions carries the optional preprocessing products a Kernel can be
+// built with.
+type KernelOptions struct {
+	// Hub enables hub-cached x access: the kernel walks Hub.Enc instead of
+	// the matrix's ColIdx and serves encoded gathers from per-worker hot
+	// windows. Must have been built by hub.Analyze over this matrix's
+	// structure. Not supported by the Atomic method.
+	Hub *hub.Plan
 }
 
 // NewKernel builds the parallel kernel. The partition is computed over the
@@ -115,14 +143,42 @@ type Kernel struct {
 // row-wise assignment. For the Indexed method the symbolic analysis runs
 // here, once, and is reused across multiplications.
 func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
+	k, err := NewKernelOpts(s, method, pool, KernelOptions{})
+	if err != nil {
+		// Unreachable: empty options never fail validation.
+		panic(err)
+	}
+	return k
+}
+
+// NewKernelOpts builds the parallel kernel with optional preprocessing
+// products. It validates the options against the matrix and method instead
+// of failing deep inside the pool.
+func NewKernelOpts(s *SSS, method ReductionMethod, pool *parallel.Pool, opts KernelOptions) (*Kernel, error) {
+	if opts.Hub != nil {
+		if method == Atomic {
+			return nil, fmt.Errorf("core: hub caching is not supported by the atomic method")
+		}
+		if len(opts.Hub.Enc) != len(s.ColIdx) {
+			return nil, fmt.Errorf("core: hub plan encodes %d elements, matrix has %d",
+				len(opts.Hub.Enc), len(s.ColIdx))
+		}
+	}
 	p := pool.Size()
 	part := partition.ByNNZ(s.RowPtr, p)
 	k := &Kernel{
-		S:      s,
-		Method: method,
-		Part:   part,
-		pool:   pool,
-		p:      p,
+		S:       s,
+		Method:  method,
+		Part:    part,
+		pool:    pool,
+		p:       p,
+		hubPlan: opts.Hub,
+	}
+	if k.hubPlan != nil {
+		k.hotX = make([][]float64, p)
+		for t := 0; t < p; t++ {
+			k.hotX[t] = make([]float64, k.hubPlan.K())
+		}
 	}
 	switch method {
 	case Atomic:
@@ -139,8 +195,12 @@ func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 		k.LV = NewLocalVectors(s.N, part, method, touched)
 	}
 	k.phasesPlain = k.assemble(nil)
-	return k
+	return k, nil
 }
+
+// Hub reports the hub plan this kernel was built with; nil for plain
+// kernels.
+func (k *Kernel) Hub() *hub.Plan { return k.hubPlan }
 
 // MulVec computes y = A·x: the parallel multiplication phase followed by the
 // reduction phase selected by Method, chained through Pool.RunPhases so the
@@ -152,7 +212,7 @@ func (k *Kernel) MulVec(x, y []float64) {
 	k.checkDims(x, y)
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesPlain, k.namesPlain())
+		k.timedRun(k.phasesPlain, k.namesPlain(), phaseObs[k.Method])
 	} else {
 		k.pool.RunPhases(k.phasesPlain...)
 	}
@@ -174,7 +234,7 @@ func (k *Kernel) MulVecDot(x, y []float64) float64 {
 	}
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesDot, k.namesDot())
+		k.timedRun(k.phasesDot, k.namesDot(), phaseObs[k.Method])
 	} else {
 		k.pool.RunPhases(k.phasesDot...)
 	}
@@ -202,6 +262,9 @@ func (k *Kernel) assemble(dot []float64) []func(tid int) {
 	switch k.Method {
 	case Naive:
 		mult := func(tid int) { k.multiplyNaiveT(tid, k.curX) }
+		if k.hubPlan != nil {
+			mult = func(tid int) { k.prefillHotT(tid, k.curX); k.multiplyNaiveHubT(tid, k.curX) }
+		}
 		if dot != nil {
 			return []func(int){mult,
 				func(tid int) { dot[tid*DotStride] = k.LV.reduceNaiveDotT(tid, k.curX, k.curY) }}
@@ -209,6 +272,9 @@ func (k *Kernel) assemble(dot []float64) []func(tid int) {
 		return []func(int){mult, func(tid int) { k.LV.reduceNaiveT(tid, k.curY) }}
 	case EffectiveRanges:
 		mult := func(tid int) { k.multiplyEffectiveT(tid, k.curX, k.curY) }
+		if k.hubPlan != nil {
+			mult = func(tid int) { k.prefillHotT(tid, k.curX); k.multiplyEffectiveHubT(tid, k.curX, k.curY) }
+		}
 		if dot != nil {
 			return []func(int){mult,
 				func(tid int) { dot[tid*DotStride] = k.LV.reduceEffectiveDotT(tid, k.curX, k.curY) }}
@@ -216,6 +282,9 @@ func (k *Kernel) assemble(dot []float64) []func(tid int) {
 		return []func(int){mult, func(tid int) { k.LV.reduceEffectiveT(tid, k.curY) }}
 	case Indexed:
 		mult := func(tid int) { k.multiplyEffectiveT(tid, k.curX, k.curY) }
+		if k.hubPlan != nil {
+			mult = func(tid int) { k.prefillHotT(tid, k.curX); k.multiplyEffectiveHubT(tid, k.curX, k.curY) }
+		}
 		red := func(tid int) { k.LV.reduceIndexedT(tid, k.curY) }
 		if dot != nil {
 			// The indexed reduction touches only conflicted elements, so the

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Multi-vector multiplication (SpMM): Y = A·X for nv right-hand sides.
 // Vectors are interleaved — x[i*nv+v] is component v of row i — so each
@@ -8,10 +12,24 @@ import "fmt"
 // raising the flop:byte ratio by ~nv. This extends the paper's kernel to
 // the multiple-RHS setting of block Krylov methods; the local-vectors
 // index is reused unchanged (one entry covers nv lanes).
+//
+// The parallel path is a first-class kernel, not a per-call dispatch: the
+// multiply→reduce chain is assembled once per vector count as closures over
+// the kernel's operand slots and runs through Pool.RunPhases, exactly like
+// MulVec — one coordinator handoff, zero allocation in steady state. For
+// nv ∈ {2, 4, 8} the multiply runs register-blocked bodies with fixed-width
+// inner loops (mulmat_blocked.go); per lane they perform the same additions
+// in the same order as the scalar kernel, so each output column is bitwise
+// identical to a MulVec of the corresponding input column.
 
 // MulMat computes Y = A·X serially for nv interleaved vectors.
 func (s *SSS) MulMat(x, y []float64, nv int) {
-	checkMatDims(s.N, len(x), len(y), nv)
+	if nv < 1 {
+		panic(fmt.Sprintf("core: MulMat with %d vectors", nv))
+	}
+	if len(x) != s.N*nv || len(y) != s.N*nv {
+		panic(fmt.Sprintf("core: MulMat dims: N=%d nv=%d, len(x)=%d, len(y)=%d", s.N, nv, len(x), len(y)))
+	}
 	for r := 0; r < s.N; r++ {
 		d := s.DValues[r]
 		for v := 0; v < nv; v++ {
@@ -35,42 +53,123 @@ func (s *SSS) MulMat(x, y []float64, nv int) {
 }
 
 // MulMat computes Y = A·X on the kernel's pool for nv interleaved vectors.
-// Supported for the local-vector methods (the Atomic ablation method is
-// single-vector only).
-func (k *Kernel) MulMat(x, y []float64, nv int) {
-	checkMatDims(k.S.N, len(x), len(y), nv)
-	if k.Method == Atomic {
-		panic("core: MulMat is not supported by the Atomic method")
+// Supported for every reduction method except the Atomic ablation (whose
+// CAS accumulator is single-vector); unsupported methods and bad dimensions
+// return an error instead of panicking inside the pool.
+func (k *Kernel) MulMat(x, y []float64, nv int) error {
+	if err := k.checkMat(x, y, nv); err != nil {
+		return err
 	}
 	if nv == 1 {
 		k.MulVec(x, y)
-		return
+		return nil
+	}
+	if k.phasesMat == nil || k.matNV != nv {
+		k.assembleMat(nv)
+	}
+	k.curX, k.curY = x, y
+	if obs.SamplingEnabled() {
+		k.timedRun(k.phasesMat, k.namesMat(), spmmObs[k.Method])
+	} else {
+		k.pool.RunPhases(k.phasesMat...)
+	}
+	k.curX, k.curY = nil, nil
+	return nil
+}
+
+// checkMat validates an SpMM request.
+func (k *Kernel) checkMat(x, y []float64, nv int) error {
+	if k.Method == Atomic {
+		return fmt.Errorf("core: MulMat is not supported by the atomic method (its CAS accumulator is single-vector)")
+	}
+	if nv < 1 {
+		return fmt.Errorf("core: MulMat with %d vectors", nv)
+	}
+	if len(x) != k.S.N*nv || len(y) != k.S.N*nv {
+		return fmt.Errorf("core: MulMat dims: N=%d nv=%d, len(x)=%d, len(y)=%d",
+			k.S.N, nv, len(x), len(y))
+	}
+	return nil
+}
+
+// assembleMat builds the cached SpMM phase list for vector count nv:
+// multiply→reduce for the local-vector methods, init→colors for the colored
+// schedule. Rebuilding happens only when nv changes.
+func (k *Kernel) assembleMat(nv int) {
+	if k.hubPlan != nil {
+		want := k.hubPlan.K() * nv
+		if k.hotMat == nil || len(k.hotMat[0]) != want {
+			k.hotMat = make([][]float64, k.p)
+			for t := range k.hotMat {
+				k.hotMat[t] = make([]float64, want)
+			}
+		}
 	}
 	if k.Method == Colored {
-		// The colored schedule is lane-agnostic: the same conflict-free
-		// phases write the interleaved output directly, no wide locals.
-		k.mulMatColored(x, y, nv)
-		return
+		k.phasesMat = k.assembleColoredMat(nv)
+	} else {
+		k.ensureWideLocals(nv)
+		var mult, red func(int)
+		switch k.Method {
+		case Naive:
+			mult = k.matMultNaive(nv)
+			red = func(tid int) { k.reduceMatNaiveT(tid, nv) }
+		case Indexed:
+			mult = k.matMultEffective(nv)
+			red = func(tid int) { k.reduceMatIndexedT(tid, nv) }
+		default: // EffectiveRanges
+			mult = k.matMultEffective(nv)
+			red = func(tid int) { k.reduceMatEffectiveT(tid, nv) }
+		}
+		k.phasesMat = []func(int){mult, red}
 	}
-	// Lazily grow the wide local vectors: LocalVectors are allocated for
-	// nv=1; MulMat keeps its own nv-wide buffers sized on first use.
-	k.ensureWideLocals(nv)
-	switch k.Method {
-	case Naive:
-		k.mulMatNaive(x, nv)
-		k.reduceMatNaive(y, nv)
-	default: // EffectiveRanges, Indexed
-		k.mulMatEffective(x, y, nv)
-		k.reduceMatLocal(y, nv)
+	k.matNV = nv
+	k.traceNamesMat = nil
+}
+
+// matMultNaive picks the naive multiply body: register-blocked for
+// nv ∈ {2, 4, 8}, hub-decoding when a hub plan is attached, generic
+// otherwise.
+func (k *Kernel) matMultNaive(nv int) func(int) {
+	if k.hubPlan != nil {
+		return func(tid int) { k.prefillHotMatT(tid, nv); k.mulMatNaiveHubT(tid, nv) }
+	}
+	switch nv {
+	case 2:
+		return k.mulMatNaive2T
+	case 4:
+		return k.mulMatNaive4T
+	case 8:
+		return k.mulMatNaive8T
+	default:
+		return func(tid int) { k.mulMatNaiveT(tid, nv) }
 	}
 }
 
-func checkMatDims(n, lx, ly, nv int) {
-	if nv < 1 {
-		panic(fmt.Sprintf("core: MulMat with %d vectors", nv))
+// matMultEffective picks the effective-ranges multiply body (shared by the
+// Indexed method).
+func (k *Kernel) matMultEffective(nv int) func(int) {
+	if k.hubPlan != nil {
+		switch nv {
+		case 2:
+			return func(tid int) { k.prefillHotMatT(tid, 2); k.mulMatEffectiveHub2T(tid) }
+		case 4:
+			return func(tid int) { k.prefillHotMatT(tid, 4); k.mulMatEffectiveHub4T(tid) }
+		case 8:
+			return func(tid int) { k.prefillHotMatT(tid, 8); k.mulMatEffectiveHub8T(tid) }
+		default:
+			return func(tid int) { k.prefillHotMatT(tid, nv); k.mulMatEffectiveHubT(tid, nv) }
+		}
 	}
-	if lx != n*nv || ly != n*nv {
-		panic(fmt.Sprintf("core: MulMat dims: N=%d nv=%d, len(x)=%d, len(y)=%d", n, nv, lx, ly))
+	switch nv {
+	case 2:
+		return k.mulMatEffective2T
+	case 4:
+		return k.mulMatEffective4T
+	case 8:
+		return k.mulMatEffective8T
+	default:
+		return func(tid int) { k.mulMatEffectiveT(tid, nv) }
 	}
 }
 
@@ -96,114 +195,128 @@ func (k *Kernel) ensureWideLocals(nv int) {
 	k.wide = w
 }
 
-func (k *Kernel) mulMatNaive(x []float64, nv int) {
+// mulMatNaiveT is the generic-nv naive multiply: every write goes to the
+// thread's full-length wide local vector.
+func (k *Kernel) mulMatNaiveT(tid, nv int) {
 	s := k.S
-	k.pool.Run(func(tid int) {
-		local := k.wide.vecs[tid]
-		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
-			ri := int(r) * nv
-			d := s.DValues[r]
+	x := k.curX
+	local := k.wide.vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * nv
+		d := s.DValues[r]
+		for v := 0; v < nv; v++ {
+			local[ri+v] += d * x[ri+v]
+		}
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			ci := int(s.ColIdx[j]) * nv
+			a := s.Val[j]
 			for v := 0; v < nv; v++ {
-				local[ri+v] += d * x[ri+v]
+				local[ri+v] += a * x[ci+v]
+				local[ci+v] += a * x[ri+v]
 			}
-			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
-				ci := int(s.ColIdx[j]) * nv
-				a := s.Val[j]
+		}
+	}
+}
+
+// mulMatEffectiveT is the generic-nv effective-ranges multiply: rows within
+// the thread's own partition write directly to y; transposed contributions
+// before the partition start buffer into the wide local.
+func (k *Kernel) mulMatEffectiveT(tid, nv int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * nv
+		d := s.DValues[r]
+		// Accumulate the row locally, store once (same ordering argument
+		// as the single-vector kernel: transposed writes only target
+		// earlier rows).
+		for v := 0; v < nv; v++ {
+			y[ri+v] = d * x[ri+v]
+		}
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := int(s.ColIdx[j])
+			ci := c * nv
+			a := s.Val[j]
+			if c >= startT {
 				for v := 0; v < nv; v++ {
-					local[ri+v] += a * x[ci+v]
+					y[ri+v] += a * x[ci+v]
+					y[ci+v] += a * x[ri+v]
+				}
+			} else {
+				for v := 0; v < nv; v++ {
+					y[ri+v] += a * x[ci+v]
 					local[ci+v] += a * x[ri+v]
 				}
 			}
 		}
-	})
+	}
 }
 
-func (k *Kernel) reduceMatNaive(y []float64, nv int) {
-	k.pool.RunChunked(k.S.N, func(_, lo, hi int) {
-		for r := lo; r < hi; r++ {
-			for v := 0; v < nv; v++ {
-				i := r*nv + v
-				sum := 0.0
-				for t := 0; t < k.p; t++ {
-					sum += k.wide.vecs[t][i]
-					k.wide.vecs[t][i] = 0
-				}
-				y[i] = sum
+// reduceMatNaiveT folds the p full-length wide locals into y over thread
+// tid's uniform row chunk, re-zeroing the locals in the same pass; per lane
+// the summation order matches reduceNaiveT exactly.
+func (k *Kernel) reduceMatNaiveT(tid, nv int) {
+	y := k.curY
+	lo, hi := k.LV.redPart.Start[tid], k.LV.redPart.End[tid]
+	for r := lo; r < hi; r++ {
+		ri := int(r) * nv
+		for v := 0; v < nv; v++ {
+			sum := 0.0
+			for t := 0; t < k.p; t++ {
+				sum += k.wide.vecs[t][ri+v]
+				k.wide.vecs[t][ri+v] = 0
 			}
+			y[ri+v] = sum
 		}
-	})
+	}
 }
 
-func (k *Kernel) mulMatEffective(x, y []float64, nv int) {
-	s := k.S
-	k.pool.Run(func(tid int) {
-		local := k.wide.vecs[tid]
-		startT := int(k.Part.Start[tid])
-		for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
-			ri := int(r) * nv
-			d := s.DValues[r]
-			// Accumulate the row locally, store once (same ordering argument
-			// as the single-vector kernel: transposed writes only target
-			// earlier rows).
-			for v := 0; v < nv; v++ {
-				y[ri+v] = d * x[ri+v]
-			}
-			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
-				c := int(s.ColIdx[j])
-				ci := c * nv
-				a := s.Val[j]
-				if c >= startT {
-					for v := 0; v < nv; v++ {
-						y[ri+v] += a * x[ci+v]
-						y[ci+v] += a * x[ri+v]
-					}
-				} else {
-					for v := 0; v < nv; v++ {
-						y[ri+v] += a * x[ci+v]
-						local[ci+v] += a * x[ri+v]
-					}
-				}
-			}
-		}
-	})
-}
-
-// reduceMatLocal folds the wide locals into y: the Indexed method walks its
-// conflict index (one entry covers nv lanes), EffectiveRanges walks the
-// effective regions.
-func (k *Kernel) reduceMatLocal(y []float64, nv int) {
-	if k.Method == Indexed {
-		k.pool.Run(func(tid int) {
-			entries, split := k.LV.redEntries, k.LV.redSplit
-			lo, hi := split[tid], split[tid+1]
-			// Entries are grouped into per-Vid runs, so each run streams one
-			// wide local vector sequentially.
-			for e := lo; e < hi; {
-				local := k.wide.vecs[entries[e].Vid]
-				for vid := entries[e].Vid; e < hi && entries[e].Vid == vid; e++ {
-					base := int(entries[e].Idx) * nv
-					for v := 0; v < nv; v++ {
-						y[base+v] += local[base+v]
-						local[base+v] = 0
-					}
-				}
-			}
-		})
+// reduceMatEffectiveT folds the wide effective regions into y with the same
+// owner-cursor walk (and per-lane summation order) as reduceEffectiveT.
+func (k *Kernel) reduceMatEffectiveT(tid, nv int) {
+	y := k.curY
+	lv := k.LV
+	lo, hi := lv.redPart.Start[tid], lv.redPart.End[tid]
+	if lo >= hi {
 		return
 	}
-	k.pool.RunChunked(k.S.N, func(_, lo, hi int) {
-		for r := lo; r < hi; r++ {
-			t0 := k.Part.Owner(int32(r)) + 1
-			for t := t0; t < k.p; t++ {
-				local := k.wide.vecs[t]
-				if len(local) <= r*nv {
-					continue
-				}
-				for v := 0; v < nv; v++ {
-					y[r*nv+v] += local[r*nv+v]
-					local[r*nv+v] = 0
-				}
+	own := lv.Part.Owner(lo)
+	for r := lo; r < hi; r++ {
+		for r >= lv.Part.End[own] {
+			own++
+		}
+		ri := int(r) * nv
+		for t := own + 1; t < k.p; t++ {
+			local := k.wide.vecs[t]
+			if len(local) <= ri {
+				continue
+			}
+			for v := 0; v < nv; v++ {
+				y[ri+v] += local[ri+v]
+				local[ri+v] = 0
 			}
 		}
-	})
+	}
+}
+
+// reduceMatIndexedT walks worker tid's slice of the reduction-ordered
+// conflict index — one entry covers nv lanes — streaming each wide local
+// sequentially like reduceIndexedT.
+func (k *Kernel) reduceMatIndexedT(tid, nv int) {
+	y := k.curY
+	entries, split := k.LV.redEntries, k.LV.redSplit
+	lo, hi := split[tid], split[tid+1]
+	for e := lo; e < hi; {
+		vid := entries[e].Vid
+		local := k.wide.vecs[vid]
+		for ; e < hi && entries[e].Vid == vid; e++ {
+			base := int(entries[e].Idx) * nv
+			for v := 0; v < nv; v++ {
+				y[base+v] += local[base+v]
+				local[base+v] = 0
+			}
+		}
+	}
 }

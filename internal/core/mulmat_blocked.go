@@ -1,0 +1,366 @@
+package core
+
+// Register-blocked SpMM multiply bodies for nv ∈ {2, 4, 8}: the inner loops
+// are fully unrolled with scalar accumulators and fixed-width full-slice
+// expressions (x[ci:ci+4:ci+4]), so the compiler keeps the lane values in
+// registers and eliminates the per-element bounds checks that a
+// variable-length `for v := 0; v < nv; v++` loop pays. Per lane every body
+// performs the same additions in the same order as the scalar kernel
+// (multiplyNaiveT / multiplyEffectiveT / colorBlocksT), so each output
+// column is bitwise identical to a MulVec of that input column.
+//
+// Only the multiply phase is specialized: the reductions are pure streaming
+// passes, bandwidth-bound at any width, and stay generic (mulmat.go).
+
+// --- naive ---------------------------------------------------------------
+
+func (k *Kernel) mulMatNaive2T(tid int) {
+	s := k.S
+	x := k.curX
+	local := k.wide.vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 2
+		xr := x[ri : ri+2 : ri+2]
+		xr0, xr1 := xr[0], xr[1]
+		d := s.DValues[r]
+		acc0, acc1 := d*xr0, d*xr1
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			ci := int(s.ColIdx[j]) * 2
+			a := s.Val[j]
+			xc := x[ci : ci+2 : ci+2]
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			lc := local[ci : ci+2 : ci+2]
+			lc[0] += a * xr0
+			lc[1] += a * xr1
+		}
+		lr := local[ri : ri+2 : ri+2]
+		lr[0] += acc0
+		lr[1] += acc1
+	}
+}
+
+func (k *Kernel) mulMatNaive4T(tid int) {
+	s := k.S
+	x := k.curX
+	local := k.wide.vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 4
+		xr := x[ri : ri+4 : ri+4]
+		xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+		d := s.DValues[r]
+		acc0, acc1, acc2, acc3 := d*xr0, d*xr1, d*xr2, d*xr3
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			ci := int(s.ColIdx[j]) * 4
+			a := s.Val[j]
+			xc := x[ci : ci+4 : ci+4]
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			acc2 += a * xc[2]
+			acc3 += a * xc[3]
+			lc := local[ci : ci+4 : ci+4]
+			lc[0] += a * xr0
+			lc[1] += a * xr1
+			lc[2] += a * xr2
+			lc[3] += a * xr3
+		}
+		lr := local[ri : ri+4 : ri+4]
+		lr[0] += acc0
+		lr[1] += acc1
+		lr[2] += acc2
+		lr[3] += acc3
+	}
+}
+
+func (k *Kernel) mulMatNaive8T(tid int) {
+	s := k.S
+	x := k.curX
+	local := k.wide.vecs[tid]
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 8
+		xr := x[ri : ri+8 : ri+8]
+		xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+		xr4, xr5, xr6, xr7 := xr[4], xr[5], xr[6], xr[7]
+		d := s.DValues[r]
+		acc0, acc1, acc2, acc3 := d*xr0, d*xr1, d*xr2, d*xr3
+		acc4, acc5, acc6, acc7 := d*xr4, d*xr5, d*xr6, d*xr7
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			ci := int(s.ColIdx[j]) * 8
+			a := s.Val[j]
+			xc := x[ci : ci+8 : ci+8]
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			acc2 += a * xc[2]
+			acc3 += a * xc[3]
+			acc4 += a * xc[4]
+			acc5 += a * xc[5]
+			acc6 += a * xc[6]
+			acc7 += a * xc[7]
+			lc := local[ci : ci+8 : ci+8]
+			lc[0] += a * xr0
+			lc[1] += a * xr1
+			lc[2] += a * xr2
+			lc[3] += a * xr3
+			lc[4] += a * xr4
+			lc[5] += a * xr5
+			lc[6] += a * xr6
+			lc[7] += a * xr7
+		}
+		lr := local[ri : ri+8 : ri+8]
+		lr[0] += acc0
+		lr[1] += acc1
+		lr[2] += acc2
+		lr[3] += acc3
+		lr[4] += acc4
+		lr[5] += acc5
+		lr[6] += acc6
+		lr[7] += acc7
+	}
+}
+
+// --- effective-ranges (also used by Indexed) -----------------------------
+
+func (k *Kernel) mulMatEffective2T(tid int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 2
+		xr := x[ri : ri+2 : ri+2]
+		xr0, xr1 := xr[0], xr[1]
+		d := s.DValues[r]
+		acc0, acc1 := d*xr0, d*xr1
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := int(s.ColIdx[j])
+			ci := c * 2
+			a := s.Val[j]
+			xc := x[ci : ci+2 : ci+2]
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			if c >= startT {
+				yc := y[ci : ci+2 : ci+2]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+			} else {
+				lc := local[ci : ci+2 : ci+2]
+				lc[0] += a * xr0
+				lc[1] += a * xr1
+			}
+		}
+		yr := y[ri : ri+2 : ri+2]
+		yr[0] = acc0
+		yr[1] = acc1
+	}
+}
+
+func (k *Kernel) mulMatEffective4T(tid int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 4
+		xr := x[ri : ri+4 : ri+4]
+		xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+		d := s.DValues[r]
+		acc0, acc1, acc2, acc3 := d*xr0, d*xr1, d*xr2, d*xr3
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := int(s.ColIdx[j])
+			ci := c * 4
+			a := s.Val[j]
+			xc := x[ci : ci+4 : ci+4]
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			acc2 += a * xc[2]
+			acc3 += a * xc[3]
+			if c >= startT {
+				yc := y[ci : ci+4 : ci+4]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+				yc[2] += a * xr2
+				yc[3] += a * xr3
+			} else {
+				lc := local[ci : ci+4 : ci+4]
+				lc[0] += a * xr0
+				lc[1] += a * xr1
+				lc[2] += a * xr2
+				lc[3] += a * xr3
+			}
+		}
+		yr := y[ri : ri+4 : ri+4]
+		yr[0] = acc0
+		yr[1] = acc1
+		yr[2] = acc2
+		yr[3] = acc3
+	}
+}
+
+func (k *Kernel) mulMatEffective8T(tid int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 8
+		xr := x[ri : ri+8 : ri+8]
+		xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+		xr4, xr5, xr6, xr7 := xr[4], xr[5], xr[6], xr[7]
+		d := s.DValues[r]
+		acc0, acc1, acc2, acc3 := d*xr0, d*xr1, d*xr2, d*xr3
+		acc4, acc5, acc6, acc7 := d*xr4, d*xr5, d*xr6, d*xr7
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			c := int(s.ColIdx[j])
+			ci := c * 8
+			a := s.Val[j]
+			xc := x[ci : ci+8 : ci+8]
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			acc2 += a * xc[2]
+			acc3 += a * xc[3]
+			acc4 += a * xc[4]
+			acc5 += a * xc[5]
+			acc6 += a * xc[6]
+			acc7 += a * xc[7]
+			if c >= startT {
+				yc := y[ci : ci+8 : ci+8]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+				yc[2] += a * xr2
+				yc[3] += a * xr3
+				yc[4] += a * xr4
+				yc[5] += a * xr5
+				yc[6] += a * xr6
+				yc[7] += a * xr7
+			} else {
+				lc := local[ci : ci+8 : ci+8]
+				lc[0] += a * xr0
+				lc[1] += a * xr1
+				lc[2] += a * xr2
+				lc[3] += a * xr3
+				lc[4] += a * xr4
+				lc[5] += a * xr5
+				lc[6] += a * xr6
+				lc[7] += a * xr7
+			}
+		}
+		yr := y[ri : ri+8 : ri+8]
+		yr[0] = acc0
+		yr[1] = acc1
+		yr[2] = acc2
+		yr[3] = acc3
+		yr[4] = acc4
+		yr[5] = acc5
+		yr[6] = acc6
+		yr[7] = acc7
+	}
+}
+
+// --- colored -------------------------------------------------------------
+
+func (k *Kernel) colorBlocksMat2T(blocks []int32) {
+	s := k.S
+	x, y := k.curX, k.curY
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			ri := int(r) * 2
+			xr := x[ri : ri+2 : ri+2]
+			xr0, xr1 := xr[0], xr[1]
+			acc0, acc1 := 0.0, 0.0
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				ci := int(s.ColIdx[j]) * 2
+				a := s.Val[j]
+				xc := x[ci : ci+2 : ci+2]
+				acc0 += a * xc[0]
+				acc1 += a * xc[1]
+				yc := y[ci : ci+2 : ci+2]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+			}
+			yr := y[ri : ri+2 : ri+2]
+			yr[0] += acc0
+			yr[1] += acc1
+		}
+	}
+}
+
+func (k *Kernel) colorBlocksMat4T(blocks []int32) {
+	s := k.S
+	x, y := k.curX, k.curY
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			ri := int(r) * 4
+			xr := x[ri : ri+4 : ri+4]
+			xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+			acc0, acc1, acc2, acc3 := 0.0, 0.0, 0.0, 0.0
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				ci := int(s.ColIdx[j]) * 4
+				a := s.Val[j]
+				xc := x[ci : ci+4 : ci+4]
+				acc0 += a * xc[0]
+				acc1 += a * xc[1]
+				acc2 += a * xc[2]
+				acc3 += a * xc[3]
+				yc := y[ci : ci+4 : ci+4]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+				yc[2] += a * xr2
+				yc[3] += a * xr3
+			}
+			yr := y[ri : ri+4 : ri+4]
+			yr[0] += acc0
+			yr[1] += acc1
+			yr[2] += acc2
+			yr[3] += acc3
+		}
+	}
+}
+
+func (k *Kernel) colorBlocksMat8T(blocks []int32) {
+	s := k.S
+	x, y := k.curX, k.curY
+	part := k.sched.Part
+	for _, b := range blocks {
+		for r := part.Start[b]; r < part.End[b]; r++ {
+			ri := int(r) * 8
+			xr := x[ri : ri+8 : ri+8]
+			xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+			xr4, xr5, xr6, xr7 := xr[4], xr[5], xr[6], xr[7]
+			acc0, acc1, acc2, acc3 := 0.0, 0.0, 0.0, 0.0
+			acc4, acc5, acc6, acc7 := 0.0, 0.0, 0.0, 0.0
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				ci := int(s.ColIdx[j]) * 8
+				a := s.Val[j]
+				xc := x[ci : ci+8 : ci+8]
+				acc0 += a * xc[0]
+				acc1 += a * xc[1]
+				acc2 += a * xc[2]
+				acc3 += a * xc[3]
+				acc4 += a * xc[4]
+				acc5 += a * xc[5]
+				acc6 += a * xc[6]
+				acc7 += a * xc[7]
+				yc := y[ci : ci+8 : ci+8]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+				yc[2] += a * xr2
+				yc[3] += a * xr3
+				yc[4] += a * xr4
+				yc[5] += a * xr5
+				yc[6] += a * xr6
+				yc[7] += a * xr7
+			}
+			yr := y[ri : ri+8 : ri+8]
+			yr[0] += acc0
+			yr[1] += acc1
+			yr[2] += acc2
+			yr[3] += acc3
+			yr[4] += acc4
+			yr[5] += acc5
+			yr[6] += acc6
+			yr[7] += acc7
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+// Register-blocked hub-cached SpMM bodies for the effective-ranges multiply
+// (shared by the Indexed method), nv ∈ {2, 4, 8}. These exist because the
+// generic-nv hub loop gives back most of what register blocking wins: the
+// per-element `for v` loop keeps lane values out of registers, so a
+// hub-cached spmm8 ran ~3× slower than the plain blocked body. Here the hub
+// decode picks the gather base (private hot window vs x) once per element
+// and the unrolled lane block is identical to mulmat_blocked.go, so per lane
+// the additions happen in the same order as the scalar hub kernel — bitwise
+// identity with plain MulVec columns is preserved.
+//
+// The naive and colored hub SpMM paths keep the generic loop: the autotuner
+// only lands hub plans on the effective/indexed family, and the benchmark
+// (spmm-bench) showed those are the configurations that matter.
+
+func (k *Kernel) mulMatEffectiveHub2T(tid int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotMat[tid]
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 2
+		xr := x[ri : ri+2 : ri+2]
+		xr0, xr1 := xr[0], xr[1]
+		d := s.DValues[r]
+		acc0, acc1 := d*xr0, d*xr1
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			e := int(enc[j])
+			a := s.Val[j]
+			var c int
+			var xc []float64
+			if e < 0 {
+				slot := ^e
+				xc = hot[slot*2 : slot*2+2 : slot*2+2]
+				c = int(cols[slot])
+			} else {
+				c = e
+				xc = x[c*2 : c*2+2 : c*2+2]
+			}
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			ci := c * 2
+			if c >= startT {
+				yc := y[ci : ci+2 : ci+2]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+			} else {
+				lc := local[ci : ci+2 : ci+2]
+				lc[0] += a * xr0
+				lc[1] += a * xr1
+			}
+		}
+		yr := y[ri : ri+2 : ri+2]
+		yr[0] = acc0
+		yr[1] = acc1
+	}
+}
+
+func (k *Kernel) mulMatEffectiveHub4T(tid int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotMat[tid]
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 4
+		xr := x[ri : ri+4 : ri+4]
+		xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+		d := s.DValues[r]
+		acc0, acc1, acc2, acc3 := d*xr0, d*xr1, d*xr2, d*xr3
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			e := int(enc[j])
+			a := s.Val[j]
+			var c int
+			var xc []float64
+			if e < 0 {
+				slot := ^e
+				xc = hot[slot*4 : slot*4+4 : slot*4+4]
+				c = int(cols[slot])
+			} else {
+				c = e
+				xc = x[c*4 : c*4+4 : c*4+4]
+			}
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			acc2 += a * xc[2]
+			acc3 += a * xc[3]
+			ci := c * 4
+			if c >= startT {
+				yc := y[ci : ci+4 : ci+4]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+				yc[2] += a * xr2
+				yc[3] += a * xr3
+			} else {
+				lc := local[ci : ci+4 : ci+4]
+				lc[0] += a * xr0
+				lc[1] += a * xr1
+				lc[2] += a * xr2
+				lc[3] += a * xr3
+			}
+		}
+		yr := y[ri : ri+4 : ri+4]
+		yr[0] = acc0
+		yr[1] = acc1
+		yr[2] = acc2
+		yr[3] = acc3
+	}
+}
+
+func (k *Kernel) mulMatEffectiveHub8T(tid int) {
+	s := k.S
+	x, y := k.curX, k.curY
+	enc, cols := k.hubPlan.Enc, k.hubPlan.Cols
+	hot := k.hotMat[tid]
+	local := k.wide.vecs[tid]
+	startT := int(k.Part.Start[tid])
+	for r := k.Part.Start[tid]; r < k.Part.End[tid]; r++ {
+		ri := int(r) * 8
+		xr := x[ri : ri+8 : ri+8]
+		xr0, xr1, xr2, xr3 := xr[0], xr[1], xr[2], xr[3]
+		xr4, xr5, xr6, xr7 := xr[4], xr[5], xr[6], xr[7]
+		d := s.DValues[r]
+		acc0, acc1, acc2, acc3 := d*xr0, d*xr1, d*xr2, d*xr3
+		acc4, acc5, acc6, acc7 := d*xr4, d*xr5, d*xr6, d*xr7
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			e := int(enc[j])
+			a := s.Val[j]
+			var c int
+			var xc []float64
+			if e < 0 {
+				slot := ^e
+				xc = hot[slot*8 : slot*8+8 : slot*8+8]
+				c = int(cols[slot])
+			} else {
+				c = e
+				xc = x[c*8 : c*8+8 : c*8+8]
+			}
+			acc0 += a * xc[0]
+			acc1 += a * xc[1]
+			acc2 += a * xc[2]
+			acc3 += a * xc[3]
+			acc4 += a * xc[4]
+			acc5 += a * xc[5]
+			acc6 += a * xc[6]
+			acc7 += a * xc[7]
+			ci := c * 8
+			if c >= startT {
+				yc := y[ci : ci+8 : ci+8]
+				yc[0] += a * xr0
+				yc[1] += a * xr1
+				yc[2] += a * xr2
+				yc[3] += a * xr3
+				yc[4] += a * xr4
+				yc[5] += a * xr5
+				yc[6] += a * xr6
+				yc[7] += a * xr7
+			} else {
+				lc := local[ci : ci+8 : ci+8]
+				lc[0] += a * xr0
+				lc[1] += a * xr1
+				lc[2] += a * xr2
+				lc[3] += a * xr3
+				lc[4] += a * xr4
+				lc[5] += a * xr5
+				lc[6] += a * xr6
+				lc[7] += a * xr7
+			}
+		}
+		yr := y[ri : ri+8 : ri+8]
+		yr[0] = acc0
+		yr[1] = acc1
+		yr[2] = acc2
+		yr[3] = acc3
+		yr[4] = acc4
+		yr[5] = acc5
+		yr[6] = acc6
+		yr[7] = acc7
+	}
+}

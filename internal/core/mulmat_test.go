@@ -67,8 +67,12 @@ func TestKernelMulMatMatchesReference(t *testing.T) {
 				for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Colored} {
 					k := NewKernel(s, method, pool)
 					got := make([]float64, n*nv)
-					k.MulMat(x, got, nv)
-					k.MulMat(x, got, nv) // wide locals must re-zero
+					if err := k.MulMat(x, got, nv); err != nil {
+						t.Fatal(err)
+					}
+					if err := k.MulMat(x, got, nv); err != nil { // wide locals must re-zero
+						t.Fatal(err)
+					}
 					if d := maxRelDiff(want, got); d > 1e-12 {
 						t.Errorf("n=%d nv=%d p=%d %v: MulMat differs by %g", n, nv, p, method, d)
 					}
@@ -110,7 +114,9 @@ func TestKernelMulMatInterleavesWithMulVec(t *testing.T) {
 			t.Fatalf("rep %d: MulVec differs by %g", rep, d)
 		}
 		got3 := make([]float64, 200*3)
-		k.MulMat(x3, got3, 3)
+		if err := k.MulMat(x3, got3, 3); err != nil {
+			t.Fatal(err)
+		}
 		if d := maxRelDiff(want3, got3); d > 1e-12 {
 			t.Fatalf("rep %d: MulMat differs by %g", rep, d)
 		}
@@ -124,12 +130,75 @@ func TestMulMatAtomicUnsupported(t *testing.T) {
 	pool := parallel.NewPool(2)
 	defer pool.Close()
 	k := NewKernel(s, Atomic, pool)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for Atomic MulMat")
+	if err := k.MulMat(make([]float64, 40), make([]float64, 40), 2); err == nil {
+		t.Fatal("expected an error for Atomic MulMat")
+	}
+}
+
+func TestMulMatBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	m := randomSymmetric(t, rng, 20, 2)
+	s, _ := FromCOO(m)
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	k := NewKernel(s, EffectiveRanges, pool)
+	if err := k.MulMat(make([]float64, 40), make([]float64, 40), 0); err == nil {
+		t.Fatal("expected an error for nv=0")
+	}
+	if err := k.MulMat(make([]float64, 40), make([]float64, 40), -3); err == nil {
+		t.Fatal("expected an error for negative nv")
+	}
+	if err := k.MulMat(make([]float64, 39), make([]float64, 40), 2); err == nil {
+		t.Fatal("expected an error for short x")
+	}
+	if err := k.MulMat(make([]float64, 40), make([]float64, 41), 2); err == nil {
+		t.Fatal("expected an error for mismatched y")
+	}
+}
+
+// The register-blocked widths must be bitwise identical to per-column
+// MulVec: the specialized bodies perform the same additions in the same
+// order per lane as the scalar kernel.
+func TestMulMatBlockedBitwiseMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	for _, n := range []int{64, 350} {
+		m := randomSymmetric(t, rng, n, 5)
+		s, err := FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	k.MulMat(make([]float64, 40), make([]float64, 40), 2)
+		for _, p := range []int{1, 3, 4} {
+			pool := parallel.NewPool(p)
+			for _, method := range []ReductionMethod{Naive, EffectiveRanges, Indexed, Colored} {
+				k := NewKernel(s, method, pool)
+				for _, nv := range []int{2, 4, 8} {
+					x := make([]float64, n*nv)
+					for i := range x {
+						x[i] = rng.NormFloat64()
+					}
+					got := make([]float64, n*nv)
+					if err := k.MulMat(x, got, nv); err != nil {
+						t.Fatal(err)
+					}
+					xc := make([]float64, n)
+					yc := make([]float64, n)
+					for v := 0; v < nv; v++ {
+						for i := 0; i < n; i++ {
+							xc[i] = x[i*nv+v]
+						}
+						k.MulVec(xc, yc)
+						for i := 0; i < n; i++ {
+							if got[i*nv+v] != yc[i] {
+								t.Fatalf("n=%d p=%d %v nv=%d: lane %d row %d = %g, MulVec = %g (not bitwise equal)",
+									n, p, method, nv, v, i, got[i*nv+v], yc[i])
+							}
+						}
+					}
+				}
+			}
+			pool.Close()
+		}
+	}
 }
 
 // Property: MulMat with interleaved layout equals per-column MulVec.
@@ -152,7 +221,9 @@ func TestQuickMulMat(t *testing.T) {
 		}
 		want := refMulMat(s, x, nv)
 		got := make([]float64, n*nv)
-		k.MulMat(x, got, nv)
+		if err := k.MulMat(x, got, nv); err != nil {
+			return false
+		}
 		for i := range want {
 			if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
 				return false

@@ -18,35 +18,46 @@ type methodObs struct {
 	wall      *obs.Histogram
 }
 
-var phaseObs [Colored + 1]*methodObs
+// phaseObs carries the SpM×V metric families; spmmObs the multi-RHS (SpMM)
+// families, kept separate so a mixed workload's histograms stay
+// interpretable (an nv=8 sweep is not an outlier SpMV).
+var (
+	phaseObs [Colored + 1]*methodObs
+	spmmObs  [Colored + 1]*methodObs
+)
+
+// newMethodObs registers one method's counter + histogram set under the
+// given metric-name stem ("symspmv_spmv" or "symspmv_spmm").
+func newMethodObs(stem, label string) *methodObs {
+	return &methodObs{
+		ops: obs.NewCounter(stem+"_ops_total",
+			"Sampled operations.", "method", label),
+		compute: obs.NewHistogram(stem+"_phase_seconds",
+			"Critical-path phase time per sampled operation.",
+			obs.DurationBuckets, "method", label, "phase", "compute"),
+		reduction: obs.NewHistogram(stem+"_phase_seconds",
+			"Critical-path phase time per sampled operation.",
+			obs.DurationBuckets, "method", label, "phase", "reduction"),
+		barrier: obs.NewHistogram(stem+"_phase_seconds",
+			"Critical-path phase time per sampled operation.",
+			obs.DurationBuckets, "method", label, "phase", "barrier"),
+		wall: obs.NewHistogram(stem+"_wall_seconds",
+			"Wall time per sampled operation.",
+			obs.DurationBuckets, "method", label),
+	}
+}
 
 func init() {
 	for m := Naive; m <= Colored; m++ {
-		label := m.String()
-		phaseObs[m] = &methodObs{
-			ops: obs.NewCounter("symspmv_spmv_ops_total",
-				"Sampled SpM×V operations.", "method", label),
-			compute: obs.NewHistogram("symspmv_spmv_phase_seconds",
-				"Critical-path phase time per sampled SpM×V operation.",
-				obs.DurationBuckets, "method", label, "phase", "compute"),
-			reduction: obs.NewHistogram("symspmv_spmv_phase_seconds",
-				"Critical-path phase time per sampled SpM×V operation.",
-				obs.DurationBuckets, "method", label, "phase", "reduction"),
-			barrier: obs.NewHistogram("symspmv_spmv_phase_seconds",
-				"Critical-path phase time per sampled SpM×V operation.",
-				obs.DurationBuckets, "method", label, "phase", "barrier"),
-			wall: obs.NewHistogram("symspmv_spmv_wall_seconds",
-				"Wall time per sampled SpM×V operation.",
-				obs.DurationBuckets, "method", label),
-		}
+		phaseObs[m] = newMethodObs("symspmv_spmv", m.String())
+		spmmObs[m] = newMethodObs("symspmv_spmm", m.String())
 	}
 }
 
 // observe feeds one operation's breakdown into the method's metrics. The
 // colored method records an exact zero into the reduction histogram every
 // operation — the "no reduction work" claim, continuously asserted.
-func (k *Kernel) observe(pt PhaseTimes) {
-	mo := phaseObs[k.Method]
+func (mo *methodObs) observe(pt PhaseTimes) {
 	mo.ops.Inc()
 	mo.compute.Observe(pt.Compute.Seconds())
 	mo.reduction.Observe(pt.Reduction.Seconds())
@@ -54,12 +65,12 @@ func (k *Kernel) observe(pt PhaseTimes) {
 	mo.wall.Observe(pt.Wall.Seconds())
 }
 
-// buildTraceNames interns the span names of an n-phase list. Reduction
-// methods run multiply→reduce (→dot for the Indexed fused variant); the
-// colored method runs init→color₀…→colorₖ₋₁ (→dot), one span name per
-// color so the perfetto view shows the schedule's full phase structure.
-func (k *Kernel) buildTraceNames(n int) []obs.NameID {
-	prefix := k.Method.String()
+// buildTraceNames interns the span names of an n-phase list under prefix.
+// Reduction methods run multiply→reduce (→dot for the Indexed fused
+// variant); the colored method runs init→color₀…→colorₖ₋₁ (→dot), one span
+// name per color so the perfetto view shows the schedule's full phase
+// structure.
+func (k *Kernel) buildTraceNames(n int, prefix string) []obs.NameID {
 	out := make([]obs.NameID, n)
 	if k.Method == Colored {
 		out[0] = obs.RegisterName(prefix + "/init")
@@ -83,14 +94,21 @@ func (k *Kernel) buildTraceNames(n int) []obs.NameID {
 
 func (k *Kernel) namesPlain() []obs.NameID {
 	if k.traceNamesPlain == nil {
-		k.traceNamesPlain = k.buildTraceNames(len(k.phasesPlain))
+		k.traceNamesPlain = k.buildTraceNames(len(k.phasesPlain), k.Method.String())
 	}
 	return k.traceNamesPlain
 }
 
 func (k *Kernel) namesDot() []obs.NameID {
 	if k.traceNamesDot == nil {
-		k.traceNamesDot = k.buildTraceNames(len(k.phasesDot))
+		k.traceNamesDot = k.buildTraceNames(len(k.phasesDot), k.Method.String())
 	}
 	return k.traceNamesDot
+}
+
+func (k *Kernel) namesMat() []obs.NameID {
+	if k.traceNamesMat == nil {
+		k.traceNamesMat = k.buildTraceNames(len(k.phasesMat), k.Method.String()+"-spmm")
+	}
+	return k.traceNamesMat
 }

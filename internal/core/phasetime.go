@@ -76,15 +76,34 @@ func (k *Kernel) phaseKinds(n int) []PhaseKind {
 func (k *Kernel) TimedMulVec(x, y []float64) PhaseTimes {
 	k.checkDims(x, y)
 	k.curX, k.curY = x, y
-	pt := k.timedRun(k.phasesPlain, k.namesPlain())
+	pt := k.timedRun(k.phasesPlain, k.namesPlain(), phaseObs[k.Method])
 	k.curX, k.curY = nil, nil
 	return pt
 }
 
+// TimedMulMat computes Y = A·X once for nv interleaved vectors while timing
+// every phase on every worker — the SpMM counterpart of TimedMulVec; the
+// breakdown feeds the symspmv_spmm_* metric families.
+func (k *Kernel) TimedMulMat(x, y []float64, nv int) (PhaseTimes, error) {
+	if err := k.checkMat(x, y, nv); err != nil {
+		return PhaseTimes{}, err
+	}
+	if nv == 1 {
+		return k.TimedMulVec(x, y), nil
+	}
+	if k.phasesMat == nil || k.matNV != nv {
+		k.assembleMat(nv)
+	}
+	k.curX, k.curY = x, y
+	pt := k.timedRun(k.phasesMat, k.namesMat(), spmmObs[k.Method])
+	k.curX, k.curY = nil, nil
+	return pt, nil
+}
+
 // timedRun executes one prebuilt phase list with per-worker timing, feeds
-// the obs layer (metrics always, trace spans when tracing is enabled), and
-// returns the single-operation breakdown.
-func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID) PhaseTimes {
+// the obs layer (mo's metrics always, trace spans when tracing is enabled),
+// and returns the single-operation breakdown.
+func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID, mo *methodObs) PhaseTimes {
 	nph := len(list)
 	durs := make([]int64, nph*k.p)
 	wrapped := make([]func(int), nph)
@@ -124,6 +143,6 @@ func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID) PhaseTimes {
 	if worked := pt.Compute + pt.Reduction; wall > worked {
 		pt.Barrier = wall - worked
 	}
-	k.observe(pt)
+	mo.observe(pt)
 	return pt
 }

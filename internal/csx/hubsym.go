@@ -1,0 +1,135 @@
+package csx
+
+import (
+	"repro/internal/core"
+	"repro/internal/hub"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+// Hub-cached CSX-Sym: the hub plan's hot columns are *filtered out* of the
+// encoded blobs — the ctl-stream decode loop has no place for a per-element
+// branch — and carried instead in per-thread side streams of (row, slot,
+// value) triples that the multiply phase applies after the blob pass,
+// reading x through the worker's private hot window. The filtered structure
+// is usually slightly less compressible (hub columns often break up
+// horizontal runs), but those were exactly the elements paying a scattered
+// DRAM gather each.
+//
+// The row partition, the local-vectors machinery and the conflict index are
+// all computed over the ORIGINAL structure, so the side-stream transposed
+// writes (which use real columns) land on locations the reduction already
+// covers. Hub CSX-Sym kernels are not serializable: the cache format
+// captures plain blobs only, and the facade keeps them out of SaveKernel.
+
+// symHubSide is one thread's stream of hub elements: element i sits at
+// (rows[i], hub.Cols[slots[i]]) with value vals[i].
+type symHubSide struct {
+	rows  []int32
+	slots []int32
+	vals  []float64
+}
+
+// NewSymHub encodes an SSS matrix into hub-cached CSX-Sym: like NewSym, but
+// elements in the plan's hub columns are routed to side streams instead of
+// the blobs. plan must come from hub.Analyze over s's structure.
+func NewSymHub(s *core.SSS, p int, method core.ReductionMethod, opts Options, plan *hub.Plan) *SymMatrix {
+	part := partition.ByNNZ(s.RowPtr, p)
+	sm := &SymMatrix{
+		N:        s.N,
+		DValues:  s.DValues,
+		Blobs:    make([]*Blob, p),
+		Part:     part,
+		Method:   method,
+		nnzLower: len(s.Val),
+		hubPlan:  plan,
+		hotX:     make([][]float64, p),
+		side:     make([]symHubSide, p),
+	}
+
+	// One filtered copy of the lower triangle, shared by every thread's
+	// encoder: hub elements removed, everything else in original order.
+	fRowPtr := make([]int32, s.N+1)
+	fColIdx := make([]int32, 0, len(s.ColIdx)-int(plan.Covered))
+	fVal := make([]float64, 0, cap(fColIdx))
+	for r := 0; r < s.N; r++ {
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			if plan.Enc[j] >= 0 {
+				fColIdx = append(fColIdx, s.ColIdx[j])
+				fVal = append(fVal, s.Val[j])
+			}
+		}
+		fRowPtr[r+1] = int32(len(fColIdx))
+	}
+
+	pool := parallel.NewPool(p)
+	defer pool.Close()
+	pool.Run(func(tid int) {
+		el, lo, _ := buildElements(fRowPtr, fColIdx, part.Start[tid], part.End[tid])
+		sm.Blobs[tid] = encodeRange(el, fVal[lo:], opts, part.Start[tid])
+		sm.hotX[tid] = make([]float64, plan.K())
+		side := &sm.side[tid]
+		for r := part.Start[tid]; r < part.End[tid]; r++ {
+			for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+				if e := plan.Enc[j]; e < 0 {
+					side.rows = append(side.rows, r)
+					side.slots = append(side.slots, ^e)
+					side.vals = append(side.vals, s.Val[j])
+				}
+			}
+		}
+	})
+	var touched [][]int32
+	if method == core.Indexed {
+		touched = core.TouchedColumns(s, part, pool)
+	}
+	sm.LV = core.NewLocalVectors(s.N, part, method, touched)
+	return sm
+}
+
+// Hub reports the plan this matrix was encoded with; nil for plain CSX-Sym.
+func (sm *SymMatrix) Hub() *hub.Plan { return sm.hubPlan }
+
+// multiplyHubT is the hub variant of multiplyT: refill the private hot
+// window, run the filtered blob pass, then apply the side stream. Row-side
+// contributions of side elements accumulate into y[r] (or the naive local)
+// after the blob pass; transposed writes use the decoded real column with
+// the same local/direct routing as the blob units.
+func (sm *SymMatrix) multiplyHubT(tid int, x, y []float64) {
+	b := sm.Blobs[tid]
+	local := sm.LV.Vecs[tid]
+	hot := sm.hotX[tid]
+	cols := sm.hubPlan.Cols
+	for s, c := range cols {
+		hot[s] = x[c]
+	}
+	side := &sm.side[tid]
+	if sm.Method == core.Naive {
+		for r := b.StartRow; r < b.EndRow; r++ {
+			local[r] = sm.DValues[r] * x[r]
+		}
+		mulBlobSym(b, int32(sm.N)+1, x, local, local)
+		for i, r := range side.rows {
+			a := side.vals[i]
+			slot := side.slots[i]
+			local[r] += a * hot[slot]
+			local[cols[slot]] += a * x[r]
+		}
+		return
+	}
+	for r := b.StartRow; r < b.EndRow; r++ {
+		y[r] = sm.DValues[r] * x[r]
+	}
+	mulBlobSym(b, sm.Part.Start[tid], x, y, local)
+	startT := sm.Part.Start[tid]
+	for i, r := range side.rows {
+		a := side.vals[i]
+		slot := side.slots[i]
+		y[r] += a * hot[slot]
+		if c := cols[slot]; c >= startT {
+			y[c] += a * x[r]
+		} else {
+			local[c] += a * x[r]
+		}
+	}
+}

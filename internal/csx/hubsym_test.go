@@ -1,0 +1,109 @@
+package csx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hub"
+	"repro/internal/parallel"
+)
+
+// forcedHubPlan analyzes with thresholds loosened so the small test matrices
+// always get a plan.
+func forcedHubPlan(t *testing.T, s *core.SSS) *hub.Plan {
+	t.Helper()
+	plan := hub.Analyze(s.N, s.RowPtr, s.ColIdx, hub.Options{MaxCols: 24, MinDegree: 1, MinCoverage: 0})
+	if plan == nil {
+		t.Fatal("hub.Analyze returned nil with forced thresholds")
+	}
+	return plan
+}
+
+// Hub-cached CSX-Sym must agree with plain CSX-Sym and with the dense
+// operator: the side-stream split changes the encoding, not the arithmetic's
+// tolerance class.
+func TestSymHubMatchesPlain(t *testing.T) {
+	ms := testMatrices(t)
+	rng := rand.New(rand.NewSource(71))
+	for _, name := range []string{"banded", "blocked", "scattered"} {
+		m := ms[name]
+		s, err := core.FromCOO(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := forcedHubPlan(t, s)
+		if plan.Covered == 0 {
+			t.Fatalf("%s: plan covers no elements", name)
+		}
+		x := make([]float64, s.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, s.N)
+		m.MulVec(x, want)
+		for _, p := range []int{1, 4} {
+			for _, method := range []core.ReductionMethod{core.Naive, core.EffectiveRanges, core.Indexed} {
+				sm := NewSymHub(s, p, method, DefaultOptions(), plan)
+				if sm.Hub() != plan {
+					t.Fatal("Hub() does not report the plan")
+				}
+				// The filtered blobs plus side streams must still hold
+				// every stored element exactly once.
+				var sideNNZ int
+				for tid := range sm.side {
+					sideNNZ += len(sm.side[tid].rows)
+				}
+				if int64(sideNNZ) != plan.Covered {
+					t.Fatalf("%s p=%d %v: side streams hold %d elements, plan covers %d",
+						name, p, method, sideNNZ, plan.Covered)
+				}
+				pool := parallel.NewPool(p)
+				y := make([]float64, s.N)
+				for rep := 0; rep < 2; rep++ { // state must re-zero across calls
+					sm.MulVec(pool, x, y)
+				}
+				if d := maxRelDiff(want, y); d > 1e-9 {
+					t.Fatalf("%s p=%d %v: hub MulVec differs by %g", name, p, method, d)
+				}
+				y2 := make([]float64, s.N)
+				dot := sm.MulVecDot(pool, x, y2)
+				pool.Close()
+				wantDot := 0.0
+				for i := range y2 {
+					if y2[i] != y[i] {
+						t.Fatalf("%s p=%d %v: MulVecDot y differs at %d", name, p, method, i)
+					}
+					wantDot += x[i] * y2[i]
+				}
+				if d := dot - wantDot; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("%s p=%d %v: dot=%g want %g", name, p, method, dot, wantDot)
+				}
+			}
+		}
+	}
+}
+
+// The hub encoding must not lose bytes accounting: filtered blobs + the
+// diagonal are what Bytes() reports, and the sum of blob + side elements is
+// the full lower triangle.
+func TestSymHubElementConservation(t *testing.T) {
+	ms := testMatrices(t)
+	s, err := core.FromCOO(ms["scattered"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := forcedHubPlan(t, s)
+	sm := NewSymHub(s, 3, core.Indexed, DefaultOptions(), plan)
+	var blobNNZ, sideNNZ int
+	for tid := range sm.Blobs {
+		blobNNZ += len(sm.Blobs[tid].Vals)
+		sideNNZ += len(sm.side[tid].rows)
+	}
+	if blobNNZ+sideNNZ != len(s.Val) {
+		t.Fatalf("blob %d + side %d != nnz %d", blobNNZ, sideNNZ, len(s.Val))
+	}
+	if sm.NNZLower() != len(s.Val) {
+		t.Fatalf("NNZLower = %d, want %d", sm.NNZLower(), len(s.Val))
+	}
+}

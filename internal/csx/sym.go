@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/hub"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 )
@@ -24,6 +25,13 @@ type SymMatrix struct {
 	LV      *core.LocalVectors
 
 	nnzLower int
+
+	// Hub caching (see internal/hub and NewSymHub): hub elements are
+	// filtered out of the encoded blobs and carried in per-thread side
+	// streams multiplied against private hot-x windows.
+	hubPlan *hub.Plan
+	hotX    [][]float64
+	side    []symHubSide
 
 	// dot holds the per-thread partial sums of MulVecDot, one cache line
 	// apart, allocated on first use.
@@ -136,6 +144,10 @@ func (sm *SymMatrix) checkDims(pool *parallel.Pool, x, y []float64) {
 func (sm *SymMatrix) multiplyT(tid int, x, y []float64) {
 	b := sm.Blobs[tid]
 	local := sm.LV.Vecs[tid]
+	if sm.hubPlan != nil {
+		sm.multiplyHubT(tid, x, y)
+		return
+	}
 	if sm.Method == core.Naive {
 		// Naive semantics: *every* write goes to the thread's
 		// full-length local vector and the reduction overwrites y.

@@ -49,6 +49,41 @@ func Reference(m *matrix.COO, x []float64) (y, scale []float64) {
 	return y, scale
 }
 
+// ReferenceMat is the multi-RHS analog of Reference: Y = A·X for nv
+// interleaved right-hand sides (x[i*nv+v] is element i of vector v), again
+// via a trusted serial dense sweep sharing no code with the kernels. The
+// returned y and scale use the same interleaved layout, so Compare applies
+// unchanged.
+func ReferenceMat(m *matrix.COO, x []float64, nv int) (y, scale []float64) {
+	n := m.Rows
+	dense := make([]float64, n*n)
+	for k := range m.Val {
+		r, c, v := int(m.RowIdx[k]), int(m.ColIdx[k]), m.Val[k]
+		dense[r*n+c] += v
+		if m.Symmetric && r != c {
+			dense[c*n+r] += v
+		}
+	}
+	y = make([]float64, n*nv)
+	scale = make([]float64, n*nv)
+	for r := 0; r < n; r++ {
+		row := dense[r*n : (r+1)*n]
+		for v := 0; v < nv; v++ {
+			var sum, mag float64
+			for c, a := range row {
+				if a == 0 {
+					continue
+				}
+				sum += a * x[c*nv+v]
+				mag += math.Abs(a) * math.Abs(x[c*nv+v])
+			}
+			y[r*nv+v] = sum
+			scale[r*nv+v] = mag
+		}
+	}
+	return y, scale
+}
+
 // Compare checks got against the reference within tol·scale per element and
 // reports the first violation. Non-finite got values fail unless the
 // reference produced the same non-finite value (a matrix holding Inf is

@@ -206,6 +206,22 @@ func AdversarialSuite() []Case {
 	}
 	add("all-in-last-row-33", m)
 
+	// Hub columns: columns 0–2 are touched by nearly every row, the access
+	// pattern the hub-cached kernels remap into private hot-x windows. The
+	// skew is strong enough that a forced hub analysis always engages.
+	m = sym(120, 120*5)
+	rng = rand.New(rand.NewSource(1010))
+	for r := 0; r < 120; r++ {
+		m.Add(r, r, 500)
+		for h := 0; h < 3 && h < r; h++ {
+			m.Add(r, h, rng.NormFloat64())
+		}
+		if r > 4 {
+			m.Add(r, 3+rng.Intn(r-3), rng.NormFloat64())
+		}
+	}
+	add("hub-cols-120", m)
+
 	// A diagonally dominant random matrix: the well-behaved control case.
 	m = sym(150, 150*5)
 	rng = rand.New(rand.NewSource(909))

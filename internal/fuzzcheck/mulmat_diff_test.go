@@ -1,0 +1,150 @@
+package fuzzcheck
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	symspmv "repro"
+)
+
+// The SpMM differential suite: every adversarial case × every SpMM-capable
+// format × widths spanning the generic fallback (3) and the register-blocked
+// specializations (2, 4, 8) × thread counts, against a serial dense
+// multi-RHS reference. Hub-cached variants run the same check with the hub
+// analysis forced on, so the remapped hot-x path faces the same degenerate
+// shapes as the plain kernels.
+
+var spmmFormats = []symspmv.Format{
+	symspmv.CSR, symspmv.SSSNaive, symspmv.SSSEffective,
+	symspmv.SSSIndexed, symspmv.SSSColored,
+}
+
+var noSpMMFormats = []symspmv.Format{
+	symspmv.CSX, symspmv.BCSR, symspmv.SSSAtomic, symspmv.CSXSym, symspmv.CSB,
+}
+
+// forcedHub engages the hub remap regardless of profitability, so even flat
+// adversarial matrices exercise the hot-x path.
+var forcedHub = symspmv.HubOptions{MaxCols: 16, MinDegree: 1, MinCoverage: -1}
+
+var spmmThreads = []int{1, 3, 8}
+var spmmWidths = []int{1, 2, 3, 4, 8}
+
+func TestDifferentialSpMM(t *testing.T) {
+	for _, tc := range AdversarialSuite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			a := buildMatrix(t, tc.M)
+			n := tc.M.Rows
+			for _, nv := range spmmWidths {
+				x := TestX(n*nv, int64(n*nv)+13)
+				ref, scale := ReferenceMat(tc.M, x, nv)
+				for _, f := range spmmFormats {
+					hubVariants := []bool{false}
+					if f != symspmv.CSR {
+						hubVariants = append(hubVariants, true)
+					}
+					for _, hub := range hubVariants {
+						opts := []symspmv.Option{}
+						if hub {
+							opts = append(opts, symspmv.HubCacheOptions(forcedHub))
+						}
+						for _, p := range spmmThreads {
+							k, err := a.Kernel(f, append([]symspmv.Option{symspmv.Threads(p)}, opts...)...)
+							if err != nil {
+								t.Errorf("%v hub=%v p=%d: Kernel: %v", f, hub, p, err)
+								continue
+							}
+							y := make([]float64, n*nv)
+							for rep := 0; rep < 2; rep++ {
+								for i := range y {
+									y[i] = math.NaN()
+								}
+								if err := symspmv.MulMat(k, x, y, nv); err != nil {
+									t.Errorf("%v hub=%v p=%d nv=%d: MulMat: %v", f, hub, p, nv, err)
+									break
+								}
+								if err := Compare(y, ref, scale, Tol); err != nil {
+									t.Errorf("%v hub=%v p=%d nv=%d rep=%d: %v", f, hub, p, nv, rep, err)
+									break
+								}
+							}
+							k.Close()
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialHubMulVec runs the single-vector hub-cached kernels —
+// including CSX-Sym's, which has no SpMM path — against the dense reference.
+func TestDifferentialHubMulVec(t *testing.T) {
+	hubFormats := []symspmv.Format{
+		symspmv.SSSNaive, symspmv.SSSEffective, symspmv.SSSIndexed,
+		symspmv.SSSColored, symspmv.CSXSym,
+	}
+	for _, tc := range AdversarialSuite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			a := buildMatrix(t, tc.M)
+			n := tc.M.Rows
+			x := TestX(n, int64(n)+29)
+			ref, scale := Reference(tc.M, x)
+			for _, f := range hubFormats {
+				for _, p := range spmmThreads {
+					k, err := a.Kernel(f, symspmv.Threads(p), symspmv.HubCacheOptions(forcedHub))
+					if err != nil {
+						t.Errorf("%v p=%d: Kernel: %v", f, p, err)
+						continue
+					}
+					y := make([]float64, n)
+					for rep := 0; rep < 2; rep++ {
+						for i := range y {
+							y[i] = math.NaN()
+						}
+						k.MulVec(x, y)
+						if err := Compare(y, ref, scale, Tol); err != nil {
+							t.Errorf("%v p=%d rep=%d: %v", f, p, rep, err)
+							break
+						}
+					}
+					k.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestSpMMUnsupportedFormats pins the error contract: formats without an
+// SpMM kernel return a typed *MulMatError, never a panic or a wrong answer.
+func TestSpMMUnsupportedFormats(t *testing.T) {
+	tc := AdversarialSuite()[0]
+	for _, c := range AdversarialSuite() {
+		if c.Name == "random-spd-150" {
+			tc = c
+		}
+	}
+	a := buildMatrix(t, tc.M)
+	n := tc.M.Rows
+	for _, f := range noSpMMFormats {
+		k, err := a.Kernel(f, symspmv.Threads(2))
+		if err != nil {
+			t.Fatalf("%v: Kernel: %v", f, err)
+		}
+		x := make([]float64, n*4)
+		y := make([]float64, n*4)
+		err = symspmv.MulMat(k, x, y, 4)
+		var me *symspmv.MulMatError
+		if !errors.As(err, &me) {
+			t.Errorf("%v: MulMat error = %v, want *MulMatError", f, err)
+		} else if me.Format != f || me.NV != 4 {
+			t.Errorf("%v: MulMatError carries %v/nv=%d", f, me.Format, me.NV)
+		}
+		k.Close()
+	}
+}

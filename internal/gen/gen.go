@@ -37,6 +37,11 @@ const (
 	// BlockedStructural is a block-banded FEM-style matrix with dense
 	// BlockSize×BlockSize coupling blocks along a band.
 	BlockedStructural
+	// PowerLawGraph is a preferential-attachment graph Laplacian: a handful
+	// of early vertices accumulate most of the edges (hubs), producing the
+	// degree skew that x-access hub caching exploits. Not part of Table I —
+	// see HubSuite.
+	PowerLawGraph
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +53,8 @@ func (k Kind) String() string {
 		return "stencil3d-scrambled"
 	case BlockedStructural:
 		return "blocked-structural"
+	case PowerLawGraph:
+		return "power-law-graph"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -90,9 +97,23 @@ var PaperSuite = []Spec{
 	{Name: "ldoor", Problem: "Structural", Rows: 952203, NNZ: 46522475, Kind: BlockedStructural, BlockSize: 3, BandFrac: 0.015},
 }
 
-// SpecByName looks up a PaperSuite entry.
+// HubSuite lists synthetic power-law matrices beyond Table I. Their hub
+// vertices (the oldest in the attachment process) are touched by nearly
+// every row, which is exactly the access pattern the hub-cached kernels
+// target; the Table I matrices have no such skew.
+var HubSuite = []Spec{
+	{Name: "powerlaw-s", Problem: "Graph", Rows: 100000, NNZ: 900000, Kind: PowerLawGraph},
+	{Name: "powerlaw-m", Problem: "Graph", Rows: 400000, NNZ: 5200000, Kind: PowerLawGraph},
+}
+
+// SpecByName looks up a PaperSuite or HubSuite entry.
 func SpecByName(name string) (Spec, error) {
 	for _, s := range PaperSuite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range HubSuite {
 		if s.Name == name {
 			return s, nil
 		}
@@ -120,6 +141,8 @@ func Generate(spec Spec, scale float64) (*matrix.COO, error) {
 		m = genStencil(rng, rows, 3, spec.AvgNNZRow(), spec.ExtraPerRow, spec.Scramble)
 	case BlockedStructural:
 		m = genBlocked(rng, rows, spec.BlockSize, spec.AvgNNZRow(), spec.BandFrac)
+	case PowerLawGraph:
+		m = genPowerLaw(rng, rows, spec.AvgNNZRow())
 	default:
 		return nil, fmt.Errorf("gen: unknown kind %v", spec.Kind)
 	}
@@ -374,6 +397,55 @@ func genBlocked(rng *rand.Rand, n, b int, targetNNZRow float64, bandFrac float64
 	for r := rlo; r < rhi; r++ {
 		for c := rlo; c < r; c++ {
 			addSymEdge(m, r, c, rng)
+		}
+	}
+	return m
+}
+
+// genPowerLaw builds a preferential-attachment (Barabási–Albert) graph:
+// each new vertex attaches to mAtt earlier vertices chosen proportionally
+// to their current degree, so early vertices become hubs whose degree grows
+// with n. In lower-triangular storage a hub h collects entries (v, h) for
+// every later attacher v — a dense stored column, the signature the
+// autotuner's DegreeSkew feature (via matrix.Stats.MaxColNNZ) detects.
+func genPowerLaw(rng *rand.Rand, n int, targetNNZRow float64) *matrix.COO {
+	// Logical nnz/row ≈ 1 (diag) + 2·mAtt (each edge counts on both sides).
+	mAtt := int(math.Round((targetNNZRow - 1) / 2))
+	if mAtt < 1 {
+		mAtt = 1
+	}
+	if mAtt >= n {
+		mAtt = n - 1
+	}
+	m := matrix.NewCOO(n, n, (mAtt+1)*n)
+	m.Symmetric = true
+	// ends holds every edge endpoint once; uniform sampling from it is
+	// degree-proportional sampling of vertices.
+	ends := make([]int32, 0, 2*mAtt*n)
+	// Seed: a star over the first mAtt+1 vertices so every seed vertex is
+	// attachable from the start.
+	for v := 1; v <= mAtt && v < n; v++ {
+		addSymEdge(m, v, 0, rng)
+		ends = append(ends, 0, int32(v))
+	}
+	seen := make(map[int]bool, mAtt)
+	for v := mAtt + 1; v < n; v++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for len(seen) < mAtt {
+			w := int(ends[rng.Intn(len(ends))])
+			if w == v || seen[w] {
+				// Redraw uniformly so a small, saturated neighborhood cannot
+				// stall the loop.
+				w = rng.Intn(v)
+				if w == v || seen[w] {
+					continue
+				}
+			}
+			seen[w] = true
+			addSymEdge(m, v, w, rng)
+			ends = append(ends, int32(v), int32(w))
 		}
 	}
 	return m

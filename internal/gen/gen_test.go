@@ -144,6 +144,32 @@ func TestStructuralMatricesHaveModerateBandwidth(t *testing.T) {
 	}
 }
 
+func TestPowerLawMatricesAreSkewedAndSPD(t *testing.T) {
+	for _, sp := range HubSuite {
+		m, err := Generate(sp, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		assertDiagonallyDominant(t, sp.Name, m)
+		st := matrix.ComputeStats(m)
+		deg := st.MaxRowNNZ
+		if st.MaxColNNZ > deg {
+			deg = st.MaxColNNZ
+		}
+		if skew := float64(deg) / st.AvgRowNNZ; skew < 8 {
+			t.Errorf("%s: degree skew %.1f, want >= 8 (hub generator lost its hubs)", sp.Name, skew)
+		}
+		got := float64(m.LogicalNNZ()) / float64(m.Rows)
+		want := sp.AvgNNZRow()
+		if got < want*0.5 || got > want*1.6 {
+			t.Errorf("%s: nnz/row = %.1f, spec %.1f", sp.Name, got, want)
+		}
+	}
+}
+
 func TestScaleScalesRowsNotDensity(t *testing.T) {
 	sp, _ := SpecByName("hood")
 	small, err := Generate(sp, 0.005)

@@ -19,7 +19,7 @@ func Autotune(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		t0 := time.Now()
 		d, err := autotune.Tune(
 			autotune.Problem{S: sm.S, M: sm.M, CSR: sm.CSR, Stats: sm.Stats},
-			autotune.Options{Log: cfg.Log},
+			autotune.Options{Log: cfg.Log, NV: cfg.NV},
 		)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sm.Spec.Name, err)

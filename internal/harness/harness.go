@@ -41,6 +41,9 @@ type Config struct {
 	// Threads sweeps for the speedup figures; empty = {1,2,4,6,8,12,16,24}
 	// clipped per platform.
 	Threads []int
+	// NV is the multi-RHS width: the autotune experiment tunes for it, and
+	// spmm-bench restricts its width sweep to it. 0/1 = single-vector.
+	NV int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 	// JSONPath, when non-empty, is where the "bench-json" experiment writes

@@ -85,6 +85,20 @@ var experiments = map[string]func(cfg Config, suite []*SuiteMatrix) ([]*Table, e
 		}
 		return []*Table{t}, nil
 	},
+	"spmm-bench": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
+		t, err := SpMMBench(cfg, suite)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	},
+	"spmm-smoke": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
+		t, err := SpMMSmoke(cfg, suite)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	},
 	"host": func(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		return []*Table{HostMeasured(cfg, suite, 0)}, nil
 	},

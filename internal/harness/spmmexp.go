@@ -1,0 +1,274 @@
+package harness
+
+// The multi-RHS (SpMM) and hub-caching experiments. The paper's central
+// claim is that symmetric SpM×V is bound by matrix-stream bandwidth;
+// streaming the matrix once across nv right-hand sides divides the matrix
+// bytes per useful flop by nv, and caching the hottest x columns in
+// per-worker windows removes the irregular-access misses that power-law
+// matrices suffer. "spmm-bench" measures both on the host and writes the
+// machine-readable record (BENCH_pr6.json); "spmm-smoke" is the cheap CI
+// gate asserting the bytes-per-flop account actually drops with nv.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hub"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+)
+
+// spmmWidths is the default register-blocked width sweep.
+var spmmWidths = []int{2, 4, 8}
+
+// spmmRecord is one (matrix, config, threads) measurement of the SpMM/hub
+// benchmark dump. Config is "scalar", "spmm<nv>", or the same with "+hub";
+// GflopsHost counts useful (logical) flops across all nv vectors, so an
+// nv-wide sweep that merely matched nv back-to-back scalar sweeps would
+// score the same Gflop/s — any surplus is the bandwidth win.
+type spmmRecord struct {
+	Matrix        string  `json:"matrix"`
+	Config        string  `json:"config"`
+	NV            int     `json:"nv"`
+	Threads       int     `json:"threads"`
+	Hub           bool    `json:"hub"`
+	HubCols       int     `json:"hub_cols,omitempty"`
+	HubCoverage   float64 `json:"hub_coverage,omitempty"`
+	GflopsHost    float64 `json:"gflops_host"`
+	MatBytesFlop  float64 `json:"matrix_bytes_per_flop"`
+	ComputeNs     int64   `json:"compute_ns"`
+	ReductionNs   int64   `json:"reduction_ns"`
+	BarrierNs     int64   `json:"barrier_ns"`
+	WallNsPerVec  int64   `json:"wall_ns_per_vec"` // wall/op ÷ nv: cost of one logical SpM×V
+}
+
+// spmmFile is the top-level BENCH_pr6.json document.
+type spmmFile struct {
+	Schema     string       `json:"schema"`
+	GitCommit  string       `json:"git_commit"`
+	Machine    string       `json:"machine"`
+	Scale      float64      `json:"scale"`
+	Iterations int          `json:"iterations"`
+	Threads    []int        `json:"threads"`
+	Records    []spmmRecord `json:"records"`
+}
+
+// hubSuiteMatrices generates the power-law HubSuite at the configured scale.
+// The Table I matrices have no degree skew, so the hub rows of the benchmark
+// need their own workload.
+func hubSuiteMatrices(cfg Config) ([]*SuiteMatrix, error) {
+	var out []*SuiteMatrix
+	for _, sp := range gen.HubSuite {
+		m, err := gen.Generate(sp, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := newSuiteMatrix(sp, m)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("generated %-14s N=%-8d nnz=%-9d (power-law)",
+			sp.Name, sm.Stats.Rows, sm.Stats.LogicalNNZ)
+		out = append(out, sm)
+	}
+	return out, nil
+}
+
+// measureSpMM runs iters instrumented nv-wide operations (vector-swapping,
+// like MeasureSpMV) and returns the accumulated phase breakdown.
+func measureSpMM(k *core.Kernel, n, nv, iters int) (core.PhaseTimes, error) {
+	x := make([]float64, n*nv)
+	y := make([]float64, n*nv)
+	rngFill(x)
+	var pt core.PhaseTimes
+	for it := 0; it < iters; it++ {
+		if nv == 1 {
+			pt.Add(k.TimedMulVec(x, y))
+		} else {
+			p, err := k.TimedMulMat(x, y, nv)
+			if err != nil {
+				return pt, err
+			}
+			pt.Add(p)
+		}
+		x, y = y, x
+		if it%16 == 15 {
+			renormalize(x)
+		}
+	}
+	return pt, nil
+}
+
+// spmmConfigs enumerates the kernel configurations benchmarked per matrix:
+// the scalar baseline and each blocked width, plus hub-cached twins when the
+// hub analysis finds a profitable column set (the power-law matrices).
+func spmmConfigs(sm *SuiteMatrix, widths []int) []struct {
+	name string
+	nv   int
+	plan *hub.Plan
+} {
+	type cfg = struct {
+		name string
+		nv   int
+		plan *hub.Plan
+	}
+	plan := hub.Analyze(sm.S.N, sm.S.RowPtr, sm.S.ColIdx, hub.DefaultOptions())
+	out := []cfg{{"scalar", 1, nil}}
+	if plan != nil {
+		out = append(out, cfg{"scalar+hub", 1, plan})
+	}
+	for _, nv := range widths {
+		out = append(out, cfg{fmt.Sprintf("spmm%d", nv), nv, nil})
+		if plan != nil {
+			out = append(out, cfg{fmt.Sprintf("spmm%d+hub", nv), nv, plan})
+		}
+	}
+	return out
+}
+
+// SpMMBench measures the SSS-indexed kernel scalar vs register-blocked
+// multi-RHS vs hub-cached on the suite plus the power-law HubSuite, writes
+// the record to cfg.JSONPath (default "BENCH_pr6.json"), and returns a
+// summary table. The comparison to read off: "spmm8" Gflop/s vs "scalar"
+// (which also scores 8 back-to-back scalar sweeps — Gflop/s is per useful
+// flop), and "scalar+hub" compute time vs "scalar" on the power-law rows.
+func SpMMBench(cfg Config, suite []*SuiteMatrix) (*Table, error) {
+	cfg = cfg.withDefaults()
+	path := cfg.JSONPath
+	if path == "" {
+		path = "BENCH_pr6.json"
+	}
+	hubs, err := hubSuiteMatrices(cfg)
+	if err != nil {
+		return nil, err
+	}
+	suite = append(append([]*SuiteMatrix{}, suite...), hubs...)
+
+	widths := spmmWidths
+	if cfg.NV > 1 {
+		widths = []int{cfg.NV}
+	}
+	threads := benchThreads()
+	doc := spmmFile{
+		Schema:     "symspmv-spmm-bench/1",
+		GitCommit:  gitCommit(),
+		Machine:    autotune.MachineSignature(),
+		Scale:      cfg.Scale,
+		Iterations: cfg.Iterations,
+		Threads:    threads,
+	}
+	t := &Table{
+		Title: fmt.Sprintf("spmm-bench — SSS-idx scalar vs blocked multi-RHS vs hub, record written to %s", path),
+		Note:  "Gflop/s counts useful flops over all vectors: nv scalar sweeps score the same as one scalar sweep",
+		Header: []string{"Matrix", "Config", "p", "Gflop/s", "matB/flop", "compute µs", "reduction µs", "wall µs/vec"},
+	}
+	for _, p := range threads {
+		pool := parallel.NewPool(p)
+		for _, sm := range suite {
+			for _, c := range spmmConfigs(sm, widths) {
+				cfg.logf("spmm-bench/p=%d/%s: %s", p, sm.Spec.Name, c.name)
+				k, err := core.NewKernelOpts(sm.S, core.Indexed, pool, core.KernelOptions{Hub: c.plan})
+				if err != nil {
+					pool.Close()
+					return nil, fmt.Errorf("%s/%s: %w", sm.Spec.Name, c.name, err)
+				}
+				pt, err := measureSpMM(k, sm.S.N, c.nv, cfg.Iterations)
+				if err != nil {
+					pool.Close()
+					return nil, fmt.Errorf("%s/%s: %w", sm.Spec.Name, c.name, err)
+				}
+				cost := perfmodel.SSSCost(k)
+				if c.plan != nil {
+					cost = cost.WithHub(c.plan.Covered, c.plan.K(), p)
+				}
+				cost = cost.SpMM(c.nv)
+				iters := int64(pt.Ops)
+				if iters == 0 {
+					iters = 1
+				}
+				wallPerOp := pt.Wall.Nanoseconds() / iters
+				rec := spmmRecord{
+					Matrix:       sm.Spec.Name,
+					Config:       c.name,
+					NV:           c.nv,
+					Threads:      p,
+					Hub:          c.plan != nil,
+					GflopsHost:   perfmodel.Gflops(cost.UsefulFlops, float64(wallPerOp)/1e9),
+					MatBytesFlop: float64(cost.MatrixBytes) / float64(cost.UsefulFlops),
+					ComputeNs:    pt.Compute.Nanoseconds() / iters,
+					ReductionNs:  pt.Reduction.Nanoseconds() / iters,
+					BarrierNs:    pt.Barrier.Nanoseconds() / iters,
+					WallNsPerVec: wallPerOp / int64(c.nv),
+				}
+				if c.plan != nil {
+					rec.HubCols = c.plan.K()
+					rec.HubCoverage = c.plan.Coverage()
+				}
+				doc.Records = append(doc.Records, rec)
+				t.Rows = append(t.Rows, []string{
+					sm.Spec.Name, c.name, fmt.Sprintf("%d", p),
+					fmt.Sprintf("%.3f", rec.GflopsHost),
+					fmt.Sprintf("%.3f", rec.MatBytesFlop),
+					fmt.Sprintf("%.1f", float64(rec.ComputeNs)/1e3),
+					fmt.Sprintf("%.1f", float64(rec.ReductionNs)/1e3),
+					fmt.Sprintf("%.1f", float64(rec.WallNsPerVec)/1e3),
+				})
+			}
+		}
+		pool.Close()
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SpMMSmoke is the CI gate behind `make bench-smoke`: on one small suite
+// matrix it verifies that the exactly-counted matrix bytes per useful flop
+// strictly drop as the blocked width grows (the whole point of the SpMM
+// path), and that each blocked width actually runs. Deliberately free of
+// wall-clock assertions — CI machines are noisy; the traffic account is not.
+func SpMMSmoke(cfg Config, suite []*SuiteMatrix) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("spmm-smoke: empty suite")
+	}
+	sm := suite[0]
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	k := core.NewKernel(sm.S, core.Indexed, pool)
+	t := &Table{
+		Title:  fmt.Sprintf("spmm-smoke — %s matrix-stream bytes per useful flop by width", sm.Spec.Name),
+		Header: []string{"nv", "matrix B/flop", "total B/flop"},
+	}
+	prev := -1.0
+	for _, nv := range []int{1, 2, 4, 8} {
+		cost := perfmodel.SSSCost(k).SpMM(nv)
+		mbpf := float64(cost.MatrixBytes) / float64(cost.UsefulFlops)
+		total := float64(cost.MultBytes+cost.RedBytes) / float64(cost.UsefulFlops)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", nv), fmt.Sprintf("%.4f", mbpf), fmt.Sprintf("%.4f", total),
+		})
+		if prev > 0 && mbpf >= prev {
+			return nil, fmt.Errorf("spmm-smoke: matrix bytes/flop did not drop at nv=%d (%.4f -> %.4f)", nv, prev, mbpf)
+		}
+		prev = mbpf
+		if nv > 1 {
+			x := make([]float64, sm.S.N*nv)
+			y := make([]float64, sm.S.N*nv)
+			rngFill(x)
+			if err := k.MulMat(x, y, nv); err != nil {
+				return nil, fmt.Errorf("spmm-smoke: MulMat nv=%d: %w", nv, err)
+			}
+		}
+	}
+	return t, nil
+}

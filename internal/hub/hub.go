@@ -1,0 +1,138 @@
+// Package hub implements the hub-caching preprocessing pass for the
+// symmetric kernels: it identifies the top-K highest-degree columns of the
+// strict lower triangle — the "hubs" whose x entries are gathered over and
+// over from all over the matrix — and remaps their column ids into a dense
+// hot region so each worker can keep a small private copy of exactly those
+// entries in L1.
+//
+// The encoding is LAV-style (Kun et al.): the kernel walks an encoded copy
+// of ColIdx in which a hub column appears as the negative value -(slot+1),
+// slot being its index in the dense hot window. A symmetric kernel cannot
+// drop the real column id — the transposed write y[c] += a·x[r] and the
+// effective-ranges ownership test both need it — so the plan also carries
+// the slot→column table and the kernel decodes with two branch-free-ish
+// operations:
+//
+//	c := enc[j]
+//	if c < 0 { slot := ^c; xc = hot[slot]; c = cols[slot] } else { xc = x[c] }
+//
+// On power-law/circuit matrices a few hundred hubs cover a large fraction
+// of all scattered gathers; the hot window is a few KB and stays resident,
+// turning those DRAM-latency gathers into L1 hits. On banded matrices no
+// column dominates, Analyze reports the plan as unprofitable, and the
+// kernels keep their plain path.
+package hub
+
+import "sort"
+
+// Options bounds the hub selection.
+type Options struct {
+	// MaxCols caps the number of hub slots (the hot window is
+	// 8·MaxCols·nv bytes per worker; the default keeps it inside L1).
+	MaxCols int
+	// MinDegree is the minimum lower-triangle degree for a column to
+	// qualify: caching a column touched a handful of times costs more in
+	// prefill than it saves.
+	MinDegree int
+	// MinCoverage is the minimum fraction of all scattered x gathers the
+	// selected hubs must cover for the plan to be worth the decode branch.
+	MinCoverage float64
+}
+
+// DefaultOptions returns the selection bounds used by the facade and the
+// autotuner: up to 512 hubs (a 4 KB scalar window), each covering at least
+// 16 gathers, jointly covering at least 10% of the gather stream.
+func DefaultOptions() Options {
+	return Options{MaxCols: 512, MinDegree: 16, MinCoverage: 0.10}
+}
+
+// Plan is the result of the analysis: the slot→column table, the encoded
+// ColIdx copy the kernels iterate instead of the original, and the coverage
+// account that justified the plan.
+type Plan struct {
+	// Cols maps hot slot → real column id, hottest first.
+	Cols []int32
+	// Enc is the encoded copy of the matrix's ColIdx: hub columns appear
+	// as -(slot+1), every other entry is the original column id.
+	Enc []int32
+	// Covered counts the ColIdx entries that hit a hub slot; Total is
+	// len(Enc). Covered/Total is the fraction of scattered gathers served
+	// from the hot window.
+	Covered, Total int64
+}
+
+// K reports the number of hub slots.
+func (p *Plan) K() int { return len(p.Cols) }
+
+// Coverage reports the fraction of scattered x gathers served by the hot
+// window.
+func (p *Plan) Coverage() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Covered) / float64(p.Total)
+}
+
+// Analyze selects the hub columns of an n×n symmetric matrix given its
+// strict-lower-triangle CSR structure and builds the encoded plan. It
+// returns nil when no selection satisfies opts — the caller should then run
+// the plain kernel; a nil plan is the analyzer saying the decode branch
+// would cost more than the locality buys.
+func Analyze(n int, rowPtr, colIdx []int32, opts Options) *Plan {
+	if opts.MaxCols <= 0 || n == 0 || len(colIdx) == 0 {
+		return nil
+	}
+	deg := make([]int32, n)
+	for _, c := range colIdx {
+		deg[c]++
+	}
+	minDeg := int32(opts.MinDegree)
+	if minDeg < 1 {
+		minDeg = 1
+	}
+	cand := make([]int32, 0, 4*opts.MaxCols)
+	for c := int32(0); c < int32(n); c++ {
+		if deg[c] >= minDeg {
+			cand = append(cand, c)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	// Hottest first; ties by column id for determinism.
+	sort.Slice(cand, func(i, j int) bool {
+		if deg[cand[i]] != deg[cand[j]] {
+			return deg[cand[i]] > deg[cand[j]]
+		}
+		return cand[i] < cand[j]
+	})
+	if len(cand) > opts.MaxCols {
+		cand = cand[:opts.MaxCols]
+	}
+	var covered int64
+	for _, c := range cand {
+		covered += int64(deg[c])
+	}
+	total := int64(len(colIdx))
+	if float64(covered) < opts.MinCoverage*float64(total) {
+		return nil
+	}
+
+	// slot lookup: column → slot+1 (0 = not a hub). Reuses deg's storage
+	// budget class but must be a fresh array — deg is still live above.
+	slotOf := make([]int32, n)
+	cols := make([]int32, len(cand))
+	copy(cols, cand)
+	for s, c := range cols {
+		slotOf[c] = int32(s) + 1
+	}
+	enc := make([]int32, len(colIdx))
+	for j, c := range colIdx {
+		if s := slotOf[c]; s != 0 {
+			enc[j] = -s // decode: slot = ^enc[j] = s-1
+		} else {
+			enc[j] = c
+		}
+	}
+	return &Plan{Cols: cols, Enc: enc, Covered: covered, Total: total}
+}

@@ -1,0 +1,87 @@
+package hub
+
+import "testing"
+
+// star builds the strict lower triangle of a star-plus-path graph on n
+// nodes: every row r>0 holds column 0 (the hub) and column r-1 (the path).
+func star(n int) (rowPtr, colIdx []int32) {
+	rowPtr = make([]int32, n+1)
+	for r := 1; r < n; r++ {
+		colIdx = append(colIdx, 0)
+		if r >= 2 {
+			colIdx = append(colIdx, int32(r-1))
+		}
+		rowPtr[r+1] = int32(len(colIdx))
+	}
+	rowPtr[1] = 0
+	return rowPtr, colIdx
+}
+
+func TestAnalyzeSelectsHub(t *testing.T) {
+	n := 100
+	rowPtr, colIdx := star(n)
+	p := Analyze(n, rowPtr, colIdx, Options{MaxCols: 4, MinDegree: 8, MinCoverage: 0.1})
+	if p == nil {
+		t.Fatal("Analyze returned nil on a star graph")
+	}
+	if p.K() < 1 || p.Cols[0] != 0 {
+		t.Fatalf("hottest hub = %v (K=%d), want column 0 first", p.Cols, p.K())
+	}
+	if p.Total != int64(len(colIdx)) {
+		t.Fatalf("Total = %d, want %d", p.Total, len(colIdx))
+	}
+	if p.Coverage() < 0.5 {
+		t.Fatalf("Coverage = %.3f, want >= 0.5 on a star", p.Coverage())
+	}
+	// Decode round-trip: every encoded entry maps back to the original.
+	for j, e := range p.Enc {
+		c := e
+		if c < 0 {
+			slot := ^c
+			if int(slot) >= p.K() {
+				t.Fatalf("Enc[%d] = %d decodes to slot %d out of range K=%d", j, e, slot, p.K())
+			}
+			c = p.Cols[slot]
+		}
+		if c != colIdx[j] {
+			t.Fatalf("Enc[%d] decodes to column %d, want %d", j, c, colIdx[j])
+		}
+	}
+	// Column 0 must be encoded (it is the hub).
+	if p.Enc[0] >= 0 {
+		t.Fatalf("Enc[0] = %d, want negative (hub column 0)", p.Enc[0])
+	}
+}
+
+func TestAnalyzeUnprofitable(t *testing.T) {
+	// A path graph: every column has degree 1 — nothing qualifies.
+	n := 64
+	rowPtr := make([]int32, n+1)
+	colIdx := make([]int32, 0, n)
+	for r := 1; r < n; r++ {
+		colIdx = append(colIdx, int32(r-1))
+		rowPtr[r+1] = int32(len(colIdx))
+	}
+	if p := Analyze(n, rowPtr, colIdx, DefaultOptions()); p != nil {
+		t.Fatalf("Analyze = %+v, want nil on a degree-1 path", p)
+	}
+	// Low coverage: one hub over a huge uniform background fails MinCoverage.
+	if p := Analyze(n, rowPtr, colIdx, Options{MaxCols: 8, MinDegree: 1, MinCoverage: 2.0}); p != nil {
+		t.Fatal("Analyze accepted a plan below MinCoverage")
+	}
+	if p := Analyze(n, nil, nil, DefaultOptions()); p != nil {
+		t.Fatal("Analyze on an empty structure should be nil")
+	}
+}
+
+func TestAnalyzeMaxColsCap(t *testing.T) {
+	n := 200
+	rowPtr, colIdx := star(n)
+	p := Analyze(n, rowPtr, colIdx, Options{MaxCols: 2, MinDegree: 1, MinCoverage: 0})
+	if p == nil {
+		t.Fatal("Analyze returned nil")
+	}
+	if p.K() != 2 {
+		t.Fatalf("K = %d, want capped at 2", p.K())
+	}
+}

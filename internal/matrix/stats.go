@@ -17,6 +17,7 @@ type Stats struct {
 	MaxRowNNZ    int
 	MinRowNNZ    int
 	AvgRowNNZ    float64
+	MaxColNNZ    int // max stored entries in one column — on symmetric lower storage, the hub-column degree rows cannot show
 	EmptyRows    int
 	DiagNNZ      int // stored entries on the main diagonal
 
@@ -35,6 +36,7 @@ func ComputeStats(m *COO) Stats {
 		MinRowNNZ: int(^uint(0) >> 1),
 	}
 	rowCount := make([]int32, m.Rows)
+	colCount := make([]int32, m.Cols)
 	rowMinCol := make([]int32, m.Rows)
 	for i := range rowMinCol {
 		rowMinCol[i] = int32(m.Cols)
@@ -51,6 +53,7 @@ func ComputeStats(m *COO) Stats {
 		}
 		sumBW += float64(d)
 		rowCount[r]++
+		colCount[c]++
 		if c < rowMinCol[r] {
 			rowMinCol[r] = c
 		}
@@ -75,6 +78,11 @@ func ComputeStats(m *COO) Stats {
 			s.MinRowNNZ = n
 		}
 		s.Profile += int64(r) - int64(rowMinCol[r])
+	}
+	for c := 0; c < m.Cols; c++ {
+		if n := int(colCount[c]); n > s.MaxColNNZ {
+			s.MaxColNNZ = n
+		}
 	}
 	if m.Rows > 0 {
 		s.AvgRowNNZ = float64(s.NNZ) / float64(m.Rows)

@@ -26,6 +26,11 @@ type SpMVCost struct {
 	RedBytes    int64
 	UsefulFlops int64 // 2·NNZ_logical, the numerator of the Gflop/s metric
 
+	// MatrixBytes is the matrix-stream portion of MultBytes — the part a
+	// multi-RHS (SpMM) sweep does NOT scale with the vector count. The
+	// remainder (MultBytes − MatrixBytes) is vector traffic, which does.
+	MatrixBytes int64
+
 	// XAccesses is the number of irregular input-vector reads per
 	// operation; XSpanBytes the average span of those accesses,
 	// 8·(2·avg|r−c| + 1) capped at the vector size.
@@ -96,6 +101,45 @@ func (c SpMVCost) Gflops(pl Platform, p int) float64 {
 	return Gflops(c.UsefulFlops, c.Seconds(pl, p))
 }
 
+// SpMM scales the cost to a multi-RHS sweep over nv interleaved vectors:
+// flops and vector traffic scale by nv while the matrix stream — the
+// dominant term of every sparse kernel here — is paid once. This falling
+// matrix-bytes-per-flop ratio is the entire case for the blocked SpMM path.
+// Each irregular x probe stays one probe but now drags an nv-wide lane
+// group, so the span statistic scales instead of the access count.
+func (c SpMVCost) SpMM(nv int) SpMVCost {
+	if nv <= 1 {
+		return c
+	}
+	m := int64(nv)
+	out := c
+	out.Name = fmt.Sprintf("%s-spmm%d", c.Name, nv)
+	out.MultFlops = c.MultFlops * m
+	out.MultBytes = c.MatrixBytes + (c.MultBytes-c.MatrixBytes)*m
+	out.RedFlops = c.RedFlops * m
+	out.RedBytes = c.RedBytes * m
+	out.UsefulFlops = c.UsefulFlops * m
+	out.XSpanBytes = c.XSpanBytes * m
+	out.AtomicOps = c.AtomicOps * m
+	return out
+}
+
+// WithHub adjusts the cost for a hub-caching plan: the covered irregular x
+// accesses become private-window (L1) hits, and each of the p workers pays
+// an 8·K-byte window prefill per operation. covered and k come straight
+// from hub.Plan (Covered, K()).
+func (c SpMVCost) WithHub(covered int64, k, p int) SpMVCost {
+	out := c
+	out.Name = c.Name + "+hub"
+	out.XAccesses = c.XAccesses - covered
+	if out.XAccesses < 0 {
+		out.XAccesses = 0
+	}
+	// Prefill: read K entries of x and write K window entries, per worker.
+	out.MultBytes = c.MultBytes + int64(16*k*p)
+	return out
+}
+
 // xProfile computes the irregular-access span statistic of a CSR-layout
 // structure: 8·(2·avg|r−c| + 1) bytes, capped at the full vector.
 func xProfile(rowPtr, colIdx []int32, n int) (spanBytes int64) {
@@ -129,6 +173,7 @@ func CSRCost(a *csr.Matrix) SpMVCost {
 		Name:        "CSR",
 		MultFlops:   2 * nnz,
 		MultBytes:   a.Bytes() + 8*n /* x */ + 8*n, /* y */
+		MatrixBytes: a.Bytes(),
 		UsefulFlops: 2 * nnz,
 		XAccesses:   nnz,
 		XSpanBytes:  xProfile(a.RowPtr, a.ColIdx, a.Cols),
@@ -145,6 +190,7 @@ func CSXCost(mx *csx.Matrix, orig *csr.Matrix) SpMVCost {
 		Name:        "CSX",
 		MultFlops:   2 * nnz,
 		MultBytes:   mx.Bytes() + 8*n + 8*n,
+		MatrixBytes: mx.Bytes(),
 		UsefulFlops: 2 * nnz,
 		XAccesses:   nnz,
 		XSpanBytes:  xProfile(orig.RowPtr, orig.ColIdx, orig.Cols),
@@ -161,6 +207,7 @@ func BCSRCost(a *bcsr.Matrix, orig *csr.Matrix) SpMVCost {
 		Name:        fmt.Sprintf("BCSR-%dx%d", a.BR, a.BC),
 		MultFlops:   2 * stored,
 		MultBytes:   a.Bytes() + 8*n + 8*n,
+		MatrixBytes: a.Bytes(),
 		UsefulFlops: 2 * int64(a.NNZ()),
 		// One irregular x access per block column touch; the block's BC
 		// elements are contiguous, so they count as a single span probe.
@@ -183,6 +230,7 @@ func CSBSymCost(sm *csb.SymMatrix, orig *core.SSS) SpMVCost {
 		Name:        "CSB-Sym",
 		MultFlops:   flops,
 		MultBytes:   sm.Bytes() + 8*n /* x */ + 8*n /* y */ + 8*buffered,
+		MatrixBytes: sm.Bytes(),
 		RedFlops:    3 * n,
 		RedBytes:    8 * 4 * n, // read buf1+buf2+far, read-modify-write y
 		UsefulFlops: flops,
@@ -224,6 +272,7 @@ func SSSCost(k *core.Kernel) SpMVCost {
 		Name:          "SSS-" + k.Method.String(),
 		MultFlops:     t.MultFlops,
 		MultBytes:     t.MultMatrixBytes + t.MultVectorBytes,
+		MatrixBytes:   t.MultMatrixBytes,
 		RedFlops:      t.RedFlops,
 		RedBytes:      t.RedBytes,
 		UsefulFlops:   t.MultFlops,
@@ -249,6 +298,7 @@ func CSXSymCost(sm *csx.SymMatrix, orig *core.SSS) SpMVCost {
 		Name:        "CSX-Sym-" + sm.Method.String(),
 		MultFlops:   flops,
 		UsefulFlops: flops,
+		MatrixBytes: sm.Bytes(),
 		XAccesses:   acc,
 		XSpanBytes:  span,
 	}
@@ -283,6 +333,7 @@ func SerialSSSCost(s *core.SSS) SpMVCost {
 		Name:        "SSS-serial",
 		MultFlops:   t.MultFlops,
 		MultBytes:   t.MultMatrixBytes + t.MultVectorBytes,
+		MatrixBytes: t.MultMatrixBytes,
 		UsefulFlops: t.MultFlops,
 		XAccesses:   acc,
 		XSpanBytes:  span,

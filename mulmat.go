@@ -1,30 +1,95 @@
 package symspmv
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/cg"
+)
+
+// MulMatError is the typed error MulMat and SolveCGBlock return when a
+// multi-RHS operation cannot run: the format has no SpMM kernel, the kernel
+// is closed, or the arguments are malformed. Match it with errors.As. It is
+// an error, never a panic — callers probing formats for SpMM support (the
+// autotuner, the fuzz harness) branch on it.
+type MulMatError struct {
+	Format Format
+	NV     int
+	Reason string
+}
+
+func (e *MulMatError) Error() string {
+	return fmt.Sprintf("symspmv: MulMat(%v, nv=%d): %s", e.Format, e.NV, e.Reason)
+}
 
 // MulMat computes Y = A·X for several right-hand sides at once (SpMM).
 // Vectors are interleaved: x[i*vecs+v] is component v of row i, and Y uses
 // the same layout. Streaming the matrix once across all vectors raises the
 // kernel's flop:byte ratio by roughly the vector count — the natural
-// extension of the paper's bandwidth argument to block Krylov methods.
+// extension of the paper's bandwidth argument to block Krylov methods. The
+// widths 2, 4 and 8 take register-blocked fast paths.
 //
 // Supported formats: CSR and the SSS family (naive, effective-ranges,
-// indexed). Other formats return an error; use MulVec per column there.
+// indexed, colored). Other formats return a *MulMatError; use MulVec per
+// column there.
 func MulMat(k Kernel, x, y []float64, vecs int) error {
+	bk, err := checkMulMat(k, len(x), len(y), vecs)
+	if err != nil {
+		return err
+	}
+	if err := bk.mulMat(x, y, vecs); err != nil {
+		return &MulMatError{Format: bk.format, NV: vecs, Reason: err.Error()}
+	}
+	return nil
+}
+
+func checkMulMat(k Kernel, lenX, lenY, vecs int) (*boundKernel, error) {
 	bk, ok := k.(*boundKernel)
 	if !ok {
-		return fmt.Errorf("symspmv: MulMat requires a Kernel from Matrix.Kernel")
+		return nil, &MulMatError{NV: vecs, Reason: "requires a Kernel from Matrix.Kernel"}
 	}
 	if bk.closed {
-		return fmt.Errorf("symspmv: MulMat on closed Kernel")
+		return nil, &MulMatError{Format: bk.format, NV: vecs, Reason: "kernel is closed"}
 	}
 	if bk.mulMat == nil {
-		return fmt.Errorf("symspmv: MulMat is not supported by the %v format", bk.format)
+		return nil, &MulMatError{Format: bk.format, NV: vecs,
+			Reason: fmt.Sprintf("the %v format has no SpMM kernel", bk.format)}
 	}
-	if vecs < 1 || len(x) != bk.n*vecs || len(y) != bk.n*vecs {
-		return fmt.Errorf("symspmv: MulMat dims: N=%d vecs=%d, len(x)=%d, len(y)=%d",
-			bk.n, vecs, len(x), len(y))
+	if vecs < 1 {
+		return nil, &MulMatError{Format: bk.format, NV: vecs, Reason: "vector count must be positive"}
 	}
-	bk.mulMat(x, y, vecs)
-	return nil
+	if lenX != bk.n*vecs || lenY != bk.n*vecs {
+		return nil, &MulMatError{Format: bk.format, NV: vecs,
+			Reason: fmt.Sprintf("dims: N=%d, len(x)=%d, len(y)=%d", bk.n, lenX, lenY)}
+	}
+	return bk, nil
+}
+
+// CGBlockResult reports a block conjugate-gradient solve: per-lane
+// convergence flags and residuals plus the shared phase breakdown.
+type CGBlockResult = cg.BlockResult
+
+// blockOp adapts a boundKernel to cg.MulMater.
+type blockOp struct{ k *boundKernel }
+
+func (o blockOp) MulMat(x, y []float64, nv int) error { return o.k.mulMat(x, y, nv) }
+
+// SolveCGBlock solves nv systems A·x_v = b_v simultaneously with block CG:
+// the lanes advance in lockstep, each with its own CG scalars, and every
+// iteration streams the matrix once through the kernel's SpMM fast path
+// instead of nv times through MulVec. b and x are interleaved like MulMat
+// (b[i*nv+v] is lane v of row i); x is the starting guess, updated in place.
+// Converged lanes freeze while the rest continue.
+//
+// The kernel must support MulMat; formats without an SpMM kernel return a
+// *MulMatError. Breakdowns (a lane hitting a non-SPD direction or non-finite
+// arithmetic) surface as *CGBreakdownError, exactly like SolveCG.
+func SolveCGBlock(k Kernel, b, x []float64, nv int, opts CGOptions) (CGBlockResult, error) {
+	bk, err := checkMulMat(k, len(b), len(x), nv)
+	if err != nil {
+		return CGBlockResult{}, err
+	}
+	return cg.SolveBlock(blockOp{bk}, bk.pool, b, x, nv, cg.Options{
+		MaxIter: opts.MaxIter,
+		Tol:     opts.Tol,
+	})
 }

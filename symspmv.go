@@ -39,6 +39,7 @@ import (
 	"repro/internal/csb"
 	"repro/internal/csr"
 	"repro/internal/csx"
+	"repro/internal/hub"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/reorder"
@@ -251,6 +252,8 @@ type Option func(*kernelOpts)
 type kernelOpts struct {
 	threads int
 	csxOpts csx.Options
+	hub     bool
+	hubOpts hub.Options
 }
 
 // Threads sets the worker count (default: GOMAXPROCS).
@@ -263,14 +266,71 @@ func CSXOptions(opts csx.Options) Option {
 	return func(o *kernelOpts) { o.csxOpts = opts }
 }
 
+// HubOptions tunes the hub-caching analysis (see HubCache). The zero value
+// of each field selects the library default.
+type HubOptions struct {
+	// MaxCols caps the hub size (default 512 columns — 4 KiB of hot x per
+	// worker, well inside L1).
+	MaxCols int
+	// MinDegree is the minimum column degree for hub membership (default 16).
+	MinDegree int
+	// MinCoverage is the minimum fraction of stored off-diagonal elements
+	// the hub must cover for the pass to engage at all (default 0.10);
+	// below it the analysis declares the matrix hub-free and the kernel is
+	// built plain. Set it to a negative value to force hub caching on.
+	MinCoverage float64
+}
+
+// HubCache enables the hub-caching preprocessing pass on the symmetric
+// formats (SSS non-atomic and CSXSym): the highest-degree columns are
+// remapped to a small per-worker hot window of x, so the scattered gathers
+// that power-law matrices pay on their hub columns become L1 hits. On
+// matrices without degree skew the analysis finds no profitable hub and the
+// kernel silently builds plain — HubCache is a hint, not a layout contract.
+// Atomic and unsymmetric formats reject the option.
+func HubCache() Option {
+	return func(o *kernelOpts) { o.hub = true }
+}
+
+// HubCacheOptions is HubCache with explicit thresholds.
+func HubCacheOptions(ho HubOptions) Option {
+	return func(o *kernelOpts) {
+		o.hub = true
+		d := hub.DefaultOptions()
+		if ho.MaxCols != 0 {
+			d.MaxCols = ho.MaxCols
+		}
+		if ho.MinDegree != 0 {
+			d.MinDegree = ho.MinDegree
+		}
+		if ho.MinCoverage != 0 {
+			d.MinCoverage = ho.MinCoverage
+		}
+		o.hubOpts = d
+	}
+}
+
 // Kernel builds a multithreaded kernel for the matrix in the given format.
 func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
-	o := kernelOpts{threads: parallel.DefaultThreads(), csxOpts: csx.DefaultOptions()}
+	o := kernelOpts{
+		threads: parallel.DefaultThreads(),
+		csxOpts: csx.DefaultOptions(),
+		hubOpts: hub.DefaultOptions(),
+	}
 	for _, opt := range options {
 		opt(&o)
 	}
 	if o.threads < 1 {
 		return nil, errors.New("symspmv: thread count must be positive")
+	}
+	var hubPlan *hub.Plan
+	if o.hub {
+		switch f {
+		case SSSNaive, SSSEffective, SSSIndexed, SSSColored, CSXSym:
+			hubPlan = hub.Analyze(a.sss.N, a.sss.RowPtr, a.sss.ColIdx, o.hubOpts)
+		default:
+			return nil, fmt.Errorf("symspmv: HubCache is not supported by the %v format", f)
+		}
 	}
 	pool := parallel.NewPool(o.threads)
 	// Release the workers on every failed construction path — including
@@ -287,7 +347,7 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 	case CSR:
 		pk := csr.NewParallel(csr.FromCOO(a.coo), pool)
 		k.mul = pk.MulVec
-		k.mulMat = pk.MulMat
+		k.mulMat = func(x, y []float64, vecs int) error { pk.MulMat(x, y, vecs); return nil }
 		k.bytes = pk.A.Bytes()
 	case CSX:
 		mx := csx.NewMatrix(a.coo, o.threads, o.csxOpts)
@@ -311,19 +371,32 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 			SSSIndexed: core.Indexed, SSSAtomic: core.Atomic,
 			SSSColored: core.Colored,
 		}[f]
-		kk := core.NewKernel(a.sss, method, pool)
+		kk, err := core.NewKernelOpts(a.sss, method, pool, core.KernelOptions{Hub: hubPlan})
+		if err != nil {
+			return nil, err
+		}
 		k.mul = kk.MulVec
 		k.mulDot = kk.MulVecDot
 		if method != core.Atomic {
 			k.mulMat = kk.MulMat
 		}
 		k.bytes = a.sss.Bytes()
+		k.hub = kk.Hub() != nil
 	case CSXSym:
-		smx := csx.NewSym(a.sss, o.threads, core.Indexed, o.csxOpts)
+		var smx *csx.SymMatrix
+		if hubPlan != nil {
+			// Hub CSX-Sym filters hub elements into side streams; the blob
+			// cache format cannot capture those, so k.sym stays nil and
+			// SaveKernel reports the kernel unsupported.
+			smx = csx.NewSymHub(a.sss, o.threads, core.Indexed, o.csxOpts, hubPlan)
+			k.hub = true
+		} else {
+			smx = csx.NewSym(a.sss, o.threads, core.Indexed, o.csxOpts)
+			k.sym = smx
+		}
 		k.mul = func(x, y []float64) { smx.MulVec(pool, x, y) }
 		k.mulDot = func(x, y []float64) float64 { return smx.MulVecDot(pool, x, y) }
 		k.bytes = smx.Bytes()
-		k.sym = smx
 	case CSB:
 		bm, err := csb.NewSym(a.sss, 0)
 		if err != nil {
@@ -347,9 +420,16 @@ type boundKernel struct {
 	bytes  int64
 	n      int
 	closed bool
-	sym    *csx.SymMatrix                 // set for CSXSym kernels (enables SaveKernel)
-	mulMat func(x, y []float64, vecs int) // nil when the format has no SpMM kernel
+	sym    *csx.SymMatrix                       // set for plain CSXSym kernels (enables SaveKernel)
+	mulMat func(x, y []float64, vecs int) error // nil when the format has no SpMM kernel
+	hub    bool                                 // a hub plan engaged (HubCache + profitable analysis)
 }
+
+// HubEnabled reports whether the hub-caching pass actually engaged: the
+// HubCache option was given AND the analysis found a profitable hub. The
+// method lives on the concrete kernel so callers can type-assert when they
+// need to distinguish "requested" from "engaged".
+func (k *boundKernel) HubEnabled() bool { return k.hub }
 
 // cgOp adapts a boundKernel to the cg operator interfaces. fusedCGOp
 // additionally advertises cg.MulVecDotter, so cg.Solve runs its two-handoff
