@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored vet bench bench-json bench-spmm bench-smoke ci tune-demo telemetry-smoke fuzz-smoke
+.PHONY: all build test race race-colored vet bench bench-json bench-spmm bench-smoke ci tune-demo telemetry-smoke fuzz-smoke serve-smoke
 
 all: build
 
@@ -68,13 +68,21 @@ fuzz-smoke:
 		$(GO) test -run '^$$' -fuzz "^$$t\$$" -fuzztime 10s ./internal/fuzzcheck/ || exit 1; \
 	done
 
+# serve-smoke drives symspmv-serve end to end: load a generated matrix, show
+# that concurrent solves coalesce into multi-RHS dispatches (batch-size
+# histogram >= 2 on /metrics) with every lane matching a scalar reference
+# solve to 1e-12, that a saturated queue returns typed 429s instead of
+# hanging, and that SIGTERM drains cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # ci is the gate for every change: vet (fails the build on findings), build,
 # the colored-schedule race focus, the full test suite under the race
 # detector (the execution engine's spin barrier and phase fusion are exactly
 # the kind of code -race exists for), the telemetry smoke, the fuzz smoke
-# (differential checking plus a short run of each fuzz target), and the SpMM
-# traffic-model smoke.
-ci: vet build race-colored race telemetry-smoke fuzz-smoke bench-smoke
+# (differential checking plus a short run of each fuzz target), the SpMM
+# traffic-model smoke, and the serving-path smoke.
+ci: vet build race-colored race telemetry-smoke fuzz-smoke bench-smoke serve-smoke
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

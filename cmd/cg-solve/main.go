@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	symspmv "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 )
 
@@ -59,7 +61,13 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve telemetry on this address (/metrics, /debug/vars, /debug/pprof); enables sampling")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the solve (perfetto-loadable); enables sampling")
 	linger := flag.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the solve")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this wall-clock budget (typed context.DeadlineExceeded; 0 = no limit)")
+	version := flag.Bool("version", false, "print version/provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Print(buildinfo.Version("cg-solve"))
+		return
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: cg-solve [flags] matrix.mtx")
 	}
@@ -175,6 +183,14 @@ func main() {
 		}
 	}
 
+	solveCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(solveCtx, *timeout)
+		defer cancel()
+	}
+	cgOpts := symspmv.CGOptions{Tol: *tol, MaxIter: *maxIter, Context: solveCtx}
+
 	if *nv > 1 {
 		// Block mode: lane v solves A·x = (v+1)·b, so with -rhs-ones the
 		// exact solution of lane v is the constant vector v+1 and the check
@@ -190,7 +206,7 @@ func main() {
 				bM[i*w+v] = float64(v+1) * b[i]
 			}
 		}
-		bres, berr := symspmv.SolveCGBlock(k, bM, xM, w, symspmv.CGOptions{Tol: *tol, MaxIter: *maxIter})
+		bres, berr := symspmv.SolveCGBlock(k, bM, xM, w, cgOpts)
 		if berr != nil {
 			log.Fatal(berr)
 		}
@@ -210,9 +226,9 @@ func main() {
 		x := make([]float64, n)
 		var res symspmv.CGResult
 		if *jacobi {
-			res, err = symspmv.SolveCGJacobi(A, k, b, x, symspmv.CGOptions{Tol: *tol, MaxIter: *maxIter})
+			res, err = symspmv.SolveCGJacobi(A, k, b, x, cgOpts)
 		} else {
-			res, err = symspmv.SolveCG(k, b, x, symspmv.CGOptions{Tol: *tol, MaxIter: *maxIter})
+			res, err = symspmv.SolveCG(k, b, x, cgOpts)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	symspmv "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -24,7 +25,12 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "suite scale (1.0 = paper size)")
 	names := flag.String("matrices", "", "comma-separated subset (default: all 12)")
 	rcm := flag.Bool("rcm", false, "apply RCM reordering before writing")
+	version := flag.Bool("version", false, "print version/provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Print(buildinfo.Version("mtx-gen"))
+		return
+	}
 
 	list := symspmv.SuiteNames()
 	if *names != "" {

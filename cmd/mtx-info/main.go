@@ -13,6 +13,7 @@ import (
 	"log"
 
 	symspmv "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/csx"
 	"repro/internal/matrix"
@@ -22,7 +23,12 @@ func main() {
 	formats := flag.Bool("formats", false, "encode all formats and report sizes")
 	threads := flag.Int("threads", 4, "worker threads for format encoding")
 	dump := flag.Int("dump", 0, "dump the first N CSX-Sym ctl units (teaching/debug aid)")
+	version := flag.Bool("version", false, "print version/provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Print(buildinfo.Version("mtx-info"))
+		return
+	}
 	if flag.NArg() == 0 {
 		log.Fatal("usage: mtx-info [-formats] file.mtx ...")
 	}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
@@ -40,8 +41,13 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve telemetry on this address (/metrics, /debug/vars, /debug/pprof); enables sampling")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (perfetto-loadable); enables sampling")
+		version     = flag.Bool("version", false, "print version/provenance and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Print(buildinfo.Version("spmv-bench"))
+		return
+	}
 
 	if *metricsAddr != "" || *traceOut != "" {
 		obs.SetSampling(true)

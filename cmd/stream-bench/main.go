@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/buildinfo"
 	"repro/internal/parallel"
 	"repro/internal/stream"
 )
@@ -19,7 +20,12 @@ func main() {
 	n := flag.Int("n", 8<<20, "elements per array (8 bytes each; use >> LLC)")
 	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	reps := flag.Int("reps", 5, "repetitions; best rate is reported (STREAM methodology)")
+	version := flag.Bool("version", false, "print version/provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Print(buildinfo.Version("stream-bench"))
+		return
+	}
 	if *threads <= 0 {
 		*threads = runtime.GOMAXPROCS(0)
 	}

@@ -146,6 +146,9 @@ func SolveBlock(a MulMater, pool *parallel.Pool, b, x []float64, nv int, opts Op
 		if live == 0 {
 			break
 		}
+		if cerr := ctxErr(opts.Context, i); cerr != nil {
+			return finish(cerr)
+		}
 		t0 = time.Now()
 		if err := a.MulMat(p, ap, nv); err != nil {
 			return res, err

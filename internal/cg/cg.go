@@ -5,6 +5,7 @@
 package cg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -69,6 +70,25 @@ type Options struct {
 	// convergence (the paper's Fig. 14 runs a fixed 2048 iterations so that
 	// every format does identical work).
 	FixedIterations bool
+	// Context, when non-nil, is checked between iterations: a cancelled or
+	// expired context stops the solve with an error wrapping
+	// context.Canceled / context.DeadlineExceeded (match with errors.Is).
+	// x holds the last completed iterate. The check never interrupts an
+	// iteration mid-flight — an SpM×V dispatch always runs to its barrier —
+	// so cancellation latency is one iteration, not one solve.
+	Context context.Context
+}
+
+// ctxErr reports a terminated Context as the typed error the solvers
+// return; nil when the solve should continue.
+func ctxErr(ctx context.Context, iteration int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cg: iteration %d: %w", iteration, err)
+	}
+	return nil
 }
 
 // Result reports the solve outcome and the phase breakdown.
@@ -159,6 +179,9 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) (Resul
 		if rr <= tol2 && !opts.FixedIterations {
 			res.Converged = true
 			break
+		}
+		if cerr := ctxErr(opts.Context, i); cerr != nil {
+			return finish(rr, normB, cerr)
 		}
 		var itStart, itMid int64
 		if sampled {

@@ -122,6 +122,9 @@ func SolvePCG(a MulVecer, m Preconditioner, pool *parallel.Pool, b, x []float64,
 			res.Converged = true
 			break
 		}
+		if cerr := ctxErr(opts.Context, i); cerr != nil {
+			return finish(rr, normB, cerr)
+		}
 		var itStart, itMid int64
 		if sampled {
 			itStart = obs.Now()

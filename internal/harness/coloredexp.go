@@ -12,12 +12,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"os/exec"
 	"runtime"
 	"sort"
-	"strings"
 
 	"repro/internal/autotune"
+	"repro/internal/buildinfo"
 	"repro/internal/color"
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -166,16 +165,6 @@ type benchFile struct {
 	Records    []benchRecord `json:"records"`
 }
 
-// gitCommit best-effort resolves the working tree's HEAD commit; "unknown"
-// when git or the repository is unavailable (e.g. an installed binary).
-func gitCommit() string {
-	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
-	if err != nil {
-		return "unknown"
-	}
-	return strings.TrimSpace(string(out))
-}
-
 // benchThreads is the sweep of the bench-json experiment: {1, 2, 4} plus the
 // machine's GOMAXPROCS when larger, deduplicated and capped at GOMAXPROCS.
 func benchThreads() []int {
@@ -208,8 +197,8 @@ func BenchJSON(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 	}
 	threads := benchThreads()
 	doc := benchFile{
-		Schema:     "symspmv-bench/2",
-		GitCommit:  gitCommit(),
+		Schema:     buildinfo.BenchSchema,
+		GitCommit:  buildinfo.Commit(),
 		Machine:    autotune.MachineSignature(),
 		Scale:      cfg.Scale,
 		Iterations: cfg.Iterations,

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/autotune"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/hub"
@@ -154,8 +155,8 @@ func SpMMBench(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 	}
 	threads := benchThreads()
 	doc := spmmFile{
-		Schema:     "symspmv-spmm-bench/1",
-		GitCommit:  gitCommit(),
+		Schema:     buildinfo.SpMMBenchSchema,
+		GitCommit:  buildinfo.Commit(),
 		Machine:    autotune.MachineSignature(),
 		Scale:      cfg.Scale,
 		Iterations: cfg.Iterations,

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+)
+
+// Server is the HTTP front end: admission control, request decoding, and the
+// wait-for-lane loop around the registry's batchers.
+type Server struct {
+	reg         *Registry
+	mux         *http.ServeMux
+	maxInflight int64
+	maxBody     int64
+	draining    atomic.Bool
+	current     atomic.Int64
+}
+
+// ServerOptions tunes the HTTP layer.
+type ServerOptions struct {
+	// MaxInflight bounds admitted-but-unanswered requests server-wide;
+	// beyond it new work is rejected with ErrSaturated (503). 0 means 256.
+	MaxInflight int
+	// MaxBodyBytes caps request bodies. 0 means 256 MiB — a dense float64
+	// vector for N = 4M rows encoded as JSON is on that order.
+	MaxBodyBytes int64
+}
+
+// NewServer wires the handlers onto a fresh mux, including the /metrics
+// endpoint backed by the process-wide obs registry.
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = 256
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 256 << 20
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux(), maxInflight: int64(opts.MaxInflight), maxBody: opts.MaxBodyBytes}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleList)
+	s.mux.HandleFunc("POST /v1/matrices", s.handleLoad)
+	s.mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleUnload)
+	s.mux.HandleFunc("POST /v1/matrices/{id}/spmv", s.handleSpMV)
+	s.mux.HandleFunc("POST /v1/matrices/{id}/solve", s.handleSolve)
+	s.mux.Handle("GET /metrics", obs.Default.Handler())
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StartDraining flips the server into shutdown mode: every subsequent
+// request is rejected with ErrDraining while in-flight work completes. The
+// caller follows with http.Server.Shutdown and Registry.Close.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// admit applies the server-wide gates; the returned release func must be
+// called when the request is answered.
+func (s *Server) admit() (release func(), err error) {
+	if s.draining.Load() {
+		rejectedDraining.Inc()
+		return nil, ErrDraining
+	}
+	if s.current.Add(1) > s.maxInflight {
+		s.current.Add(-1)
+		rejectedSaturated.Inc()
+		return nil, ErrSaturated
+	}
+	inflightAdd(1)
+	return func() {
+		s.current.Add(-1)
+		inflightAdd(-1)
+	}, nil
+}
+
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := StatusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return BadRequestf("decode body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"commit": buildinfo.Commit(),
+		"api":    buildinfo.ServeAPI,
+	})
+}
+
+type loadRequest struct {
+	ID      string `json:"id"`
+	Path    string `json:"path"`
+	Format  string `json:"format,omitempty"`
+	Threads int    `json:"threads,omitempty"`
+}
+
+type matrixInfo struct {
+	ID       string `json:"id"`
+	N        int    `json:"n"`
+	NNZ      int    `json:"nnz"`
+	Format   string `json:"format"`
+	Threads  int    `json:"threads"`
+	Bytes    int64  `json:"bytes"`
+	SpMM     bool   `json:"spmm"`
+	CacheHit bool   `json:"tune_cache_hit"`
+	Trials   int    `json:"tune_trials"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+func infoOf(e *Entry) matrixInfo {
+	return matrixInfo{
+		ID: e.ID, N: e.N, NNZ: e.NNZ, Format: e.Format, Threads: e.Threads,
+		Bytes: e.Bytes, SpMM: e.SpMM, CacheHit: e.CacheHit, Trials: e.Trials,
+		LoadedAt: e.LoadedAt.UTC().Format(time.RFC3339),
+	}
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, ErrDraining)
+		return
+	}
+	var req loadRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, BadRequestf("path is required"))
+		return
+	}
+	e, err := s.reg.Load(req.ID, LoadSpec{Path: req.Path, Format: req.Format, Threads: req.Threads})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(e))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	out := make([]matrixInfo, len(entries))
+	for i, e := range entries {
+		out[i] = infoOf(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matrices": out})
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Unload(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"unloaded": r.PathValue("id")})
+}
+
+type spmvRequest struct {
+	X     []float64 `json:"x,omitempty"`
+	XOnes bool      `json:"x_ones,omitempty"`
+}
+
+type spmvResponse struct {
+	Y          []float64 `json:"y"`
+	BatchLanes int       `json:"batch_lanes"`
+}
+
+type solveRequest struct {
+	B         []float64 `json:"b,omitempty"`
+	BOnes     bool      `json:"b_ones,omitempty"` // b = A·1, so the exact solution is all-ones
+	Tol       float64   `json:"tol,omitempty"`
+	MaxIter   int       `json:"max_iter,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+type solveResponse struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+	Residual   float64   `json:"residual"`
+	BatchLanes int       `json:"batch_lanes"`
+}
+
+// inputVector validates the request vector against the matrix dimension,
+// synthesizing the ones-vector variants server-side.
+func (s *Server) inputVector(e *Entry, v []float64, ones bool, name string) ([]float64, error) {
+	if ones {
+		if v != nil {
+			return nil, BadRequestf("give %s or %s_ones, not both", name, name)
+		}
+		x := make([]float64, e.N)
+		for i := range x {
+			x[i] = 1
+		}
+		if name == "b" {
+			// b = A·1 through the registered kernel, so "converged" means
+			// the solver reproduced the all-ones solution.
+			req := &request{key: batchKey{op: opSpMV}, in: x, ctx: context.Background(), done: make(chan outcome, 1)}
+			if err := e.batcher.Enqueue(req); err != nil {
+				return nil, err
+			}
+			out := <-req.done
+			if out.err != nil {
+				return nil, out.err
+			}
+			return out.y, nil
+		}
+		return x, nil
+	}
+	if len(v) != e.N {
+		return nil, BadRequestf("%s has %d entries, matrix has %d rows", name, len(v), e.N)
+	}
+	return v, nil
+}
+
+// runRequest enqueues req on the matrix's batcher and waits for its lane
+// result or the caller giving up.
+func (s *Server) runRequest(e *Entry, req *request) (outcome, error) {
+	e.requests.Inc()
+	if err := e.batcher.Enqueue(req); err != nil {
+		return outcome{}, err
+	}
+	select {
+	case out := <-req.done:
+		return out, out.err
+	case <-req.ctx.Done():
+		// The batcher still owns the request and will discard its result;
+		// done is buffered so the dispatcher never blocks on us.
+		return outcome{}, req.ctx.Err()
+	}
+}
+
+func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	e, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req spmvRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	x, err := s.inputVector(e, req.X, req.XOnes, "x")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out, err := s.runRequest(e, &request{
+		key:  batchKey{op: opSpMV},
+		in:   x,
+		ctx:  r.Context(),
+		done: make(chan outcome, 1),
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, spmvResponse{Y: out.y, BatchLanes: out.lanes})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	e, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req solveRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	b, err := s.inputVector(e, req.B, req.BOnes, "b")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Tol < 0 || req.MaxIter < 0 || req.TimeoutMS < 0 {
+		writeError(w, BadRequestf("tol, max_iter and timeout_ms must be non-negative"))
+		return
+	}
+	tol := req.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	out, err := s.runRequest(e, &request{
+		key:  batchKey{op: opSolve, tol: tol, maxIter: req.MaxIter},
+		in:   b,
+		ctx:  ctx,
+		done: make(chan outcome, 1),
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		X:          out.y,
+		Iterations: out.iterations,
+		Converged:  out.converged,
+		Residual:   out.residual,
+		BatchLanes: out.lanes,
+	})
+}

@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	symspmv "repro"
+)
+
+// testMatrixFile writes a strongly diagonally dominant SPD matrix (small
+// condition number, so CG converges in a handful of iterations) to a temp
+// Matrix Market file and returns its path plus the in-memory matrix.
+func testMatrixFile(t *testing.T, n int, seed int64) (string, *symspmv.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := symspmv.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		deg := 0.0
+		for e := 0; e < 4; e++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			b.Set(i, j, v)
+			deg += math.Abs(v)
+		}
+		b.Set(i, i, 2*deg+4)
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteMatrixMarket(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, a
+}
+
+func testRegistry(t *testing.T, opts Options) *Registry {
+	t.Helper()
+	if opts.TuneCacheDir == "" {
+		opts.TuneCacheDir = "off"
+	}
+	reg := NewRegistry(opts)
+	t.Cleanup(reg.Close)
+	return reg
+}
+
+func loadEntry(t *testing.T, reg *Registry, id string, n int, seed int64) *Entry {
+	t.Helper()
+	path, _ := testMatrixFile(t, n, seed)
+	e, err := reg.Load(id, LoadSpec{Path: path, Format: "sss-idx", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.SpMM {
+		t.Fatalf("sss-idx entry reports no SpMM support")
+	}
+	return e
+}
+
+func solveReq(b []float64, ctx context.Context, tol float64) *request {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &request{key: batchKey{op: opSolve, tol: tol}, in: b, ctx: ctx, done: make(chan outcome, 1)}
+}
+
+func spmvReq(x []float64, ctx context.Context) *request {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &request{key: batchKey{op: opSpMV}, in: x, ctx: ctx, done: make(chan outcome, 1)}
+}
+
+// Admission is deterministic on a hand-built batcher whose dispatcher never
+// runs: the queue fills to capacity, then rejects; a stopped batcher rejects
+// with ErrUnloaded.
+func TestEnqueueBackpressure(t *testing.T) {
+	b := &Batcher{in: make(chan *request, 2), stop: make(chan struct{}), done: make(chan struct{})}
+	x := make([]float64, 4)
+	if err := b.Enqueue(spmvReq(x, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Enqueue(spmvReq(x, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Enqueue(spmvReq(x, nil)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: err = %v, want ErrQueueFull", err)
+	}
+	b.stopped = true
+	if err := b.Enqueue(spmvReq(x, nil)); !errors.Is(err, ErrUnloaded) {
+		t.Fatalf("stopped batcher: err = %v, want ErrUnloaded", err)
+	}
+}
+
+func TestPadWidth(t *testing.T) {
+	for lanes, want := range map[int]int{1: 2, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8} {
+		if got := padWidth(lanes); got != want {
+			t.Errorf("padWidth(%d) = %d, want %d", lanes, got, want)
+		}
+	}
+}
+
+// A lone request takes the scalar path (lanes == 1) and is bitwise the
+// kernel's MulVec.
+func TestSoloRequestScalarPath(t *testing.T) {
+	reg := testRegistry(t, Options{Window: 50 * time.Millisecond, QueueDepth: 8})
+	e := loadEntry(t, reg, "solo", 200, 1)
+
+	x := make([]float64, e.N)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	ref := make([]float64, e.N)
+	e.kern.MulVec(x, ref)
+
+	r := spmvReq(x, nil)
+	if err := e.batcher.Enqueue(r); err != nil {
+		t.Fatal(err)
+	}
+	out := <-r.done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.lanes != 1 {
+		t.Fatalf("solo request served with lanes = %d", out.lanes)
+	}
+	for i := range ref {
+		if out.y[i] != ref[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, out.y[i], ref[i])
+		}
+	}
+}
+
+// plugDispatcher keeps the entry's dispatcher busy for a bounded stretch (a
+// solve that cannot reach its tolerance within its iteration cap) so requests
+// enqueued meanwhile pile up and must coalesce. Returns the plug's done
+// channel; the caller drains it at the end.
+func plugDispatcher(t *testing.T, e *Entry) chan outcome {
+	t.Helper()
+	b := make([]float64, e.N)
+	for i := range b {
+		b[i] = 1
+	}
+	req := &request{
+		key:  batchKey{op: opSolve, tol: 1e-16, maxIter: 300},
+		in:   b, ctx: context.Background(), done: make(chan outcome, 1),
+	}
+	if err := e.batcher.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	return req.done
+}
+
+// Concurrent same-key spmv requests coalesce into multi-lane dispatches, and
+// every lane is bitwise identical to the kernel's MulVec (the documented
+// SpMM contract). A plug request occupies the dispatcher while the batch
+// queues up, so coalescing is deterministic.
+func TestSpMVCoalesces(t *testing.T) {
+	reg := testRegistry(t, Options{Window: 100 * time.Millisecond, QueueDepth: 64})
+	e := loadEntry(t, reg, "coalesce", 300, 2)
+
+	const reqs = 8
+	xs := make([][]float64, reqs)
+	refs := make([][]float64, reqs)
+	for r := 0; r < reqs; r++ {
+		xs[r] = make([]float64, e.N)
+		for i := range xs[r] {
+			xs[r][i] = math.Sin(float64(i*(r+1))) * 2
+		}
+		refs[r] = make([]float64, e.N)
+		e.kern.MulVec(xs[r], refs[r])
+	}
+
+	plug := plugDispatcher(t, e)
+	outs := make([]outcome, reqs)
+	var wg sync.WaitGroup
+	for r := 0; r < reqs; r++ {
+		req := spmvReq(xs[r], nil)
+		if err := e.batcher.Enqueue(req); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, req *request) {
+			defer wg.Done()
+			outs[r] = <-req.done
+		}(r, req)
+	}
+	wg.Wait()
+	<-plug
+
+	batched := 0
+	for r := 0; r < reqs; r++ {
+		if outs[r].err != nil {
+			t.Fatalf("request %d: %v", r, outs[r].err)
+		}
+		if outs[r].lanes >= 2 {
+			batched++
+		}
+		for i := range refs[r] {
+			if outs[r].y[i] != refs[r][i] {
+				t.Fatalf("request %d lane result differs from MulVec at row %d: %g vs %g (lanes=%d)",
+					r, i, outs[r].y[i], refs[r][i], outs[r].lanes)
+			}
+		}
+	}
+	if batched == 0 {
+		t.Fatalf("no request was served in a multi-lane dispatch (queue was pre-filled with %d requests)", reqs)
+	}
+}
+
+// Batched solves: lanes demux to the right caller and each converges to its
+// own solution.
+func TestSolveCoalescesAndDemuxes(t *testing.T) {
+	reg := testRegistry(t, Options{Window: 100 * time.Millisecond, QueueDepth: 64})
+	e := loadEntry(t, reg, "bsolve", 300, 3)
+
+	const reqs = 5
+	xstars := make([][]float64, reqs)
+	bs := make([][]float64, reqs)
+	rng := rand.New(rand.NewSource(9))
+	for r := 0; r < reqs; r++ {
+		xstars[r] = make([]float64, e.N)
+		for i := range xstars[r] {
+			xstars[r][i] = rng.NormFloat64()
+		}
+		bs[r] = make([]float64, e.N)
+		e.kern.MulVec(xstars[r], bs[r])
+	}
+
+	plug := plugDispatcher(t, e)
+	outs := make([]outcome, reqs)
+	var wg sync.WaitGroup
+	for r := 0; r < reqs; r++ {
+		req := solveReq(bs[r], nil, 1e-12)
+		if err := e.batcher.Enqueue(req); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, req *request) {
+			defer wg.Done()
+			outs[r] = <-req.done
+		}(r, req)
+	}
+	wg.Wait()
+	<-plug
+
+	batched := 0
+	for r := 0; r < reqs; r++ {
+		if outs[r].lanes >= 2 {
+			batched++
+		}
+	}
+	if batched == 0 {
+		t.Fatalf("no solve was served in a multi-lane dispatch")
+	}
+	for r := 0; r < reqs; r++ {
+		out := outs[r]
+		if out.err != nil {
+			t.Fatalf("request %d: %v", r, out.err)
+		}
+		if !out.converged {
+			t.Fatalf("request %d did not converge: residual %g after %d iterations", r, out.residual, out.iterations)
+		}
+		for i := range xstars[r] {
+			if d := math.Abs(out.y[i] - xstars[r][i]); d > 1e-8*(1+math.Abs(xstars[r][i])) {
+				t.Fatalf("request %d: x[%d] = %g, want %g (lanes=%d)", r, i, out.y[i], xstars[r][i], out.lanes)
+			}
+		}
+	}
+}
+
+// The batcher race-stress test: N goroutines against M matrices, mixed
+// spmv/solve with random cancellations and a concurrent unload. Every
+// request must end in exactly one of: a correct result (spmv bitwise vs the
+// kernel, solve within tolerance of the known solution) or a typed error
+// (context cancellation, queue full, unloaded). Run under -race this is the
+// dispatcher's data-race proof.
+func TestBatcherStress(t *testing.T) {
+	const (
+		nMat    = 3
+		workers = 12
+		ops     = 10
+		n       = 150
+	)
+	reg := testRegistry(t, Options{Window: time.Millisecond, QueueDepth: 64})
+
+	type target struct {
+		e     *Entry
+		xin   []float64
+		ref   []float64 // kernel MulVec(xin)
+		xstar []float64
+		b     []float64 // kernel-consistent b = A·xstar
+	}
+	targets := make([]*target, nMat)
+	ids := []string{"s0", "s1", "s2"}
+	for m := 0; m < nMat; m++ {
+		e := loadEntry(t, reg, ids[m], n, int64(100+m))
+		tg := &target{e: e, xin: make([]float64, n), ref: make([]float64, n),
+			xstar: make([]float64, n), b: make([]float64, n)}
+		rng := rand.New(rand.NewSource(int64(m)))
+		for i := 0; i < n; i++ {
+			tg.xin[i] = rng.NormFloat64()
+			tg.xstar[i] = rng.NormFloat64()
+		}
+		e.kern.MulVec(tg.xin, tg.ref)
+		e.kern.MulVec(tg.xstar, tg.b)
+		targets[m] = tg
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for op := 0; op < ops; op++ {
+				tg := targets[rng.Intn(nMat)]
+				ctx := context.Background()
+				cancelled := false
+				switch rng.Intn(4) {
+				case 0: // pre-cancelled
+					c, cancel := context.WithCancel(ctx)
+					cancel()
+					ctx, cancelled = c, true
+				case 1: // racing deadline: either outcome is legal
+					c, cancel := context.WithTimeout(ctx, time.Duration(rng.Intn(3))*time.Millisecond)
+					defer cancel()
+					ctx = c
+				}
+				var req *request
+				isSolve := rng.Intn(2) == 0
+				if isSolve {
+					req = solveReq(tg.b, ctx, 1e-10)
+				} else {
+					req = spmvReq(tg.xin, ctx)
+				}
+				if err := tg.e.batcher.Enqueue(req); err != nil {
+					if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrUnloaded) {
+						t.Errorf("worker %d: enqueue: %v", w, err)
+					}
+					continue
+				}
+				out := <-req.done
+				if out.err != nil {
+					if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) ||
+						errors.Is(out.err, ErrUnloaded) {
+						continue
+					}
+					t.Errorf("worker %d: untyped error: %v", w, out.err)
+					continue
+				}
+				if cancelled {
+					// A pre-cancelled request may still win the race only if
+					// the dispatcher read it before the cancellation check;
+					// our cancel() ran before Enqueue, so it must not.
+					t.Errorf("worker %d: pre-cancelled request returned a result", w)
+					continue
+				}
+				if isSolve {
+					if !out.converged {
+						t.Errorf("worker %d: solve did not converge (res %g)", w, out.residual)
+						continue
+					}
+					for i := range tg.xstar {
+						if d := math.Abs(out.y[i] - tg.xstar[i]); d > 1e-6*(1+math.Abs(tg.xstar[i])) {
+							t.Errorf("worker %d: solve x[%d] = %g, want %g", w, i, out.y[i], tg.xstar[i])
+							break
+						}
+					}
+				} else {
+					for i := range tg.ref {
+						if out.y[i] != tg.ref[i] {
+							t.Errorf("worker %d: spmv y[%d] = %g, want %g (lanes=%d)", w, i, out.y[i], tg.ref[i], out.lanes)
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Unloading with requests still queued fails them with ErrUnloaded and makes
+// later enqueues fail too; the id then 404s in the registry.
+func TestUnloadFailsPending(t *testing.T) {
+	reg := testRegistry(t, Options{Window: 10 * time.Millisecond, QueueDepth: 32})
+	e := loadEntry(t, reg, "gone", 200, 7)
+
+	x := make([]float64, e.N)
+	reqs := make([]*request, 6)
+	for i := range reqs {
+		reqs[i] = solveReq(x, nil, 1e-10)
+		if err := e.batcher.Enqueue(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Unload("gone"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		out := <-r.done
+		// Requests dispatched before Stop land a zero-b result (x = 0 is
+		// the exact solution); the rest fail with ErrUnloaded.
+		if out.err != nil && !errors.Is(out.err, ErrUnloaded) {
+			t.Fatalf("queued request: err = %v, want nil or ErrUnloaded", out.err)
+		}
+	}
+	if err := e.batcher.Enqueue(solveReq(x, nil, 1e-10)); !errors.Is(err, ErrUnloaded) {
+		t.Fatalf("enqueue after unload: err = %v, want ErrUnloaded", err)
+	}
+	if _, err := reg.Get("gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after unload: err = %v, want ErrNotFound", err)
+	}
+	if err := reg.Unload("gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double unload: err = %v, want ErrNotFound", err)
+	}
+}
+
+// Solves with different tolerances never share a dispatch (the batch key
+// separates them), but both still complete correctly.
+func TestMixedKeysDoNotCoalesce(t *testing.T) {
+	reg := testRegistry(t, Options{Window: 20 * time.Millisecond, QueueDepth: 32})
+	e := loadEntry(t, reg, "keys", 200, 11)
+
+	xstar := make([]float64, e.N)
+	for i := range xstar {
+		xstar[i] = 1
+	}
+	b := make([]float64, e.N)
+	e.kern.MulVec(xstar, b)
+
+	r1 := solveReq(b, nil, 1e-8)
+	r2 := solveReq(b, nil, 1e-12)
+	if err := e.batcher.Enqueue(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.batcher.Enqueue(r2); err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := <-r1.done, <-r2.done
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("errs: %v, %v", o1.err, o2.err)
+	}
+	if !o1.converged || !o2.converged {
+		t.Fatalf("converged: %v, %v", o1.converged, o2.converged)
+	}
+	// The looser solve may not iterate as far; both must still be accurate
+	// to their own tolerance against the exact solution.
+	for i := range xstar {
+		if d := math.Abs(o2.y[i] - 1); d > 1e-8 {
+			t.Fatalf("tight solve x[%d] off by %g", i, d)
+		}
+		if d := math.Abs(o1.y[i] - 1); d > 1e-4 {
+			t.Fatalf("loose solve x[%d] off by %g", i, d)
+		}
+	}
+}

@@ -36,10 +36,19 @@ func MulMat(k Kernel, x, y []float64, vecs int) error {
 	if err != nil {
 		return err
 	}
-	if err := bk.mulMat(x, y, vecs); err != nil {
+	if err := bk.mulMatLocked(x, y, vecs); err != nil {
 		return &MulMatError{Format: bk.format, NV: vecs, Reason: err.Error()}
 	}
 	return nil
+}
+
+// SupportsMulMat reports whether the kernel can serve MulMat / SolveCGBlock:
+// it was built by Matrix.Kernel on an SpMM-capable format and is still open.
+// Reorder-wrapped autotune plans drop the SpMM path, so callers planning to
+// batch (the serve registry does) probe here instead of trial-dispatching.
+func SupportsMulMat(k Kernel) bool {
+	bk, ok := k.(*boundKernel)
+	return ok && !bk.isClosed() && bk.mulMat != nil
 }
 
 func checkMulMat(k Kernel, lenX, lenY, vecs int) (*boundKernel, error) {
@@ -47,7 +56,7 @@ func checkMulMat(k Kernel, lenX, lenY, vecs int) (*boundKernel, error) {
 	if !ok {
 		return nil, &MulMatError{NV: vecs, Reason: "requires a Kernel from Matrix.Kernel"}
 	}
-	if bk.closed {
+	if bk.isClosed() {
 		return nil, &MulMatError{Format: bk.format, NV: vecs, Reason: "kernel is closed"}
 	}
 	if bk.mulMat == nil {
@@ -71,6 +80,8 @@ type CGBlockResult = cg.BlockResult
 // blockOp adapts a boundKernel to cg.MulMater.
 type blockOp struct{ k *boundKernel }
 
+// blockOp calls the raw closure: SolveCGBlock holds the kernel mutex for the
+// whole solve (see boundKernel.acquire), so the per-call lock would deadlock.
 func (o blockOp) MulMat(x, y []float64, nv int) error { return o.k.mulMat(x, y, nv) }
 
 // SolveCGBlock solves nv systems A·x_v = b_v simultaneously with block CG:
@@ -88,8 +99,14 @@ func SolveCGBlock(k Kernel, b, x []float64, nv int, opts CGOptions) (CGBlockResu
 	if err != nil {
 		return CGBlockResult{}, err
 	}
+	release, aerr := bk.acquire("SolveCGBlock")
+	if aerr != nil {
+		return CGBlockResult{}, &MulMatError{Format: bk.format, NV: nv, Reason: "kernel is closed"}
+	}
+	defer release()
 	return cg.SolveBlock(blockOp{bk}, bk.pool, b, x, nv, cg.Options{
 		MaxIter: opts.MaxIter,
 		Tol:     opts.Tol,
+		Context: opts.Context,
 	})
 }

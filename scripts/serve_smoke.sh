@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Serve smoke test: start symspmv-serve, load a generated matrix, and drive
+# the full serving path end to end:
+#   1. concurrent solves coalesce into multi-RHS dispatches (batch_lanes >= 2
+#      in responses, batched-lane counters visible on /metrics),
+#   2. every coalesced lane matches a scalar reference solve to 1e-12,
+#   3. flooding the bounded per-matrix queue yields typed 429 queue_full
+#      rejections while every admitted request still completes correctly,
+#   4. SIGTERM drains cleanly (exit 0 after in-flight work finishes).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:9465
+BASE="http://$ADDR"
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+echo "serve-smoke: generating test matrix"
+go run ./cmd/mtx-gen -out "$TMP" -scale 0.01 -matrices parabolic_fem
+MTX=$(ls "$TMP"/*.mtx | head -1)
+
+echo "serve-smoke: building symspmv-serve"
+go build -o "$TMP/symspmv-serve" ./cmd/symspmv-serve
+"$TMP/symspmv-serve" -version
+
+# A generous window plus a small queue: the window makes concurrent curls
+# coalesce reliably, the queue bound makes the flood phase produce 429s.
+"$TMP/symspmv-serve" -addr "$ADDR" -window 80ms -queue 8 -max-batch 8 -threads 2 \
+    -tune-cache off &>"$TMP/serve.log" &
+PID=$!
+
+for _ in $(seq 1 60); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "server never came up (log: $(cat "$TMP/serve.log"))"
+
+echo "serve-smoke: loading $MTX"
+LOAD=$(curl -fsS "$BASE/v1/matrices" \
+    -d "{\"id\":\"smoke\",\"path\":\"$MTX\",\"format\":\"sss-idx\",\"threads\":2}")
+jq -e '.spmm == true' <<<"$LOAD" >/dev/null || fail "load response: $LOAD"
+echo "serve-smoke: loaded n=$(jq .n <<<"$LOAD") nnz=$(jq .nnz <<<"$LOAD") format=$(jq -r .format <<<"$LOAD")"
+
+SOLVE_BODY='{"b_ones":true,"tol":1e-13}'
+
+echo "serve-smoke: scalar reference solve"
+curl -fsS "$BASE/v1/matrices/smoke/solve" -d "$SOLVE_BODY" >"$TMP/ref.json"
+jq -e '.converged == true' "$TMP/ref.json" >/dev/null || fail "reference solve did not converge"
+
+echo "serve-smoke: firing 6 concurrent solves into an 80ms window"
+CURLS=()
+for i in $(seq 1 6); do
+    curl -fsS "$BASE/v1/matrices/smoke/solve" -d "$SOLVE_BODY" >"$TMP/out$i.json" &
+    CURLS+=($!)
+done
+wait "${CURLS[@]}"
+
+BATCHED=0
+for i in $(seq 1 6); do
+    jq -e '.converged == true' "$TMP/out$i.json" >/dev/null \
+        || fail "concurrent solve $i did not converge: $(cat "$TMP/out$i.json")"
+    LANES=$(jq .batch_lanes "$TMP/out$i.json")
+    [ "$LANES" -ge 2 ] && BATCHED=$((BATCHED + 1))
+    # Per-lane result vs the scalar reference, max abs difference <= 1e-12.
+    DIFF=$(jq -n --slurpfile r "$TMP/ref.json" --slurpfile o "$TMP/out$i.json" \
+        '[range($r[0].x | length) as $i |
+          ($r[0].x[$i] - $o[0].x[$i]) | if . < 0 then -. else . end] | max')
+    jq -en --argjson d "$DIFF" '$d <= 1e-12' >/dev/null \
+        || fail "solve $i deviates from the scalar reference by $DIFF (> 1e-12)"
+done
+[ "$BATCHED" -ge 2 ] || fail "only $BATCHED/6 concurrent solves were coalesced"
+echo "serve-smoke: $BATCHED/6 solves served in multi-lane dispatches, all within 1e-12 of scalar"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+grep -q '^symspmv_serve_batch_size_bucket' <<<"$METRICS" \
+    || fail "/metrics missing symspmv_serve_batch_size_bucket"
+LANES_BATCHED=$(grep '^symspmv_serve_batched_lanes_total' <<<"$METRICS" | awk '{print $2}')
+[ "${LANES_BATCHED:-0}" -ge 2 ] || fail "symspmv_serve_batched_lanes_total = ${LANES_BATCHED:-absent}"
+grep -q 'symspmv_serve_matrix_requests_total{matrix="smoke"}' <<<"$METRICS" \
+    || fail "/metrics missing the per-matrix request counter"
+echo "serve-smoke: /metrics shows $LANES_BATCHED batched lanes"
+
+echo "serve-smoke: flooding the queue (depth 8) with 40 concurrent solves"
+CURLS=()
+for i in $(seq 1 40); do
+    { curl -sS -o "$TMP/flood$i.json" -w '%{http_code}' \
+        "$BASE/v1/matrices/smoke/solve" -d "$SOLVE_BODY" >"$TMP/code$i"; } &
+    CURLS+=($!)
+done
+wait "${CURLS[@]}"
+
+OK=0
+REJECTED=0
+for i in $(seq 1 40); do
+    CODE=$(cat "$TMP/code$i")
+    case "$CODE" in
+    200)
+        OK=$((OK + 1))
+        jq -e '.converged == true' "$TMP/flood$i.json" >/dev/null \
+            || fail "admitted flood solve $i did not converge"
+        ;;
+    429)
+        REJECTED=$((REJECTED + 1))
+        [ "$(jq -r .error.code "$TMP/flood$i.json")" = queue_full ] \
+            || fail "429 without queue_full code: $(cat "$TMP/flood$i.json")"
+        ;;
+    *)
+        fail "flood solve $i: unexpected status $CODE: $(cat "$TMP/flood$i.json")"
+        ;;
+    esac
+done
+[ "$OK" -ge 1 ] || fail "queue flood admitted nothing"
+[ "$REJECTED" -ge 1 ] || fail "queue flood produced no 429s (ok=$OK)"
+echo "serve-smoke: flood: $OK admitted and correct, $REJECTED rejected with typed queue_full"
+
+echo "serve-smoke: SIGTERM drain"
+kill -TERM "$PID"
+for _ in $(seq 1 50); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$PID" 2>/dev/null; then
+    fail "server still running 10s after SIGTERM"
+fi
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+PID=""
+[ "$STATUS" -eq 0 ] || fail "server exited $STATUS on SIGTERM (log: $(cat "$TMP/serve.log"))"
+grep -q 'drained cleanly' "$TMP/serve.log" || fail "no clean-drain log line"
+echo "serve-smoke: PASS"

@@ -29,9 +29,11 @@
 package symspmv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/bcsr"
 	"repro/internal/cg"
@@ -232,9 +234,17 @@ func (a *Matrix) ReorderRCM() (*Matrix, []int32, error) {
 
 // Kernel is a multithreaded y = A·x engine bound to a worker pool. Kernels
 // must be released with Close.
+//
+// A Kernel is safe for concurrent use: every operation (MulVec, MulMat, and
+// the solves' inner dispatches) is serialized on an internal mutex, so
+// concurrent callers queue rather than corrupt the kernel's per-operation
+// state. Long-lived sharing — many request handlers over one prepared
+// kernel — is the intended pattern (see internal/serve); parallelism comes
+// from the worker pool inside one operation, not from overlapping
+// operations, which would only fight over the same memory bandwidth.
 type Kernel interface {
-	// MulVec computes y = A·x. len(x) == len(y) == N. Not safe for
-	// concurrent invocation.
+	// MulVec computes y = A·x. len(x) == len(y) == N. Safe for concurrent
+	// invocation; concurrent calls are serialized.
 	MulVec(x, y []float64)
 	// Format reports the kernel's storage format.
 	Format() Format
@@ -423,6 +433,57 @@ type boundKernel struct {
 	sym    *csx.SymMatrix                       // set for plain CSXSym kernels (enables SaveKernel)
 	mulMat func(x, y []float64, vecs int) error // nil when the format has no SpMM kernel
 	hub    bool                                 // a hub plan engaged (HubCache + profitable analysis)
+
+	// mu serializes every operation on the kernel. The underlying engines own
+	// per-call mutable state — operand slots the phase closures read, shared
+	// local vectors, dot partials, the reorder wrapper's permutation buffers —
+	// so two interleaved operations would corrupt each other. Holding mu for
+	// the whole dispatch makes a Kernel safe to share across goroutines:
+	// concurrent callers queue, each operation runs alone, and long-lived
+	// services (internal/serve) hand one kernel to many request handlers
+	// without an external lock. closed is guarded by mu as well, so Close
+	// cannot release the pool under a running operation.
+	mu sync.Mutex
+}
+
+// mulVecLocked runs y = A·x alone on the kernel; it panics when the kernel
+// is already closed, like MulVec always has.
+func (k *boundKernel) mulVecLocked(x, y []float64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		panic("symspmv: MulVec on closed Kernel")
+	}
+	k.mul(x, y)
+}
+
+func (k *boundKernel) mulMatLocked(x, y []float64, vecs int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return errors.New("kernel is closed")
+	}
+	return k.mulMat(x, y, vecs)
+}
+
+func (k *boundKernel) isClosed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.closed
+}
+
+// acquire takes the kernel for a multi-dispatch operation (a whole CG
+// solve): the mutex is held until release, so the solve's kernel dispatches
+// AND its pool-driven vector operations run without interleaving from other
+// callers. Returns a typed error when the kernel was closed while the
+// caller waited for the lock.
+func (k *boundKernel) acquire(op string) (release func(), err error) {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("symspmv: %s on closed Kernel", op)
+	}
+	return k.mu.Unlock, nil
 }
 
 // HubEnabled reports whether the hub-caching pass actually engaged: the
@@ -434,6 +495,10 @@ func (k *boundKernel) HubEnabled() bool { return k.hub }
 // cgOp adapts a boundKernel to the cg operator interfaces. fusedCGOp
 // additionally advertises cg.MulVecDotter, so cg.Solve runs its two-handoff
 // fused iteration for the symmetric kernels.
+// The cg operators call the kernel's raw closures, not the locked wrappers:
+// a solve holds the kernel mutex for its entire run (it also drives vector
+// operations on the kernel's pool, which the per-call lock would not cover),
+// so taking the lock again per inner dispatch would self-deadlock.
 type cgOp struct{ k *boundKernel }
 
 func (o cgOp) MulVec(x, y []float64) { o.k.mul(x, y) }
@@ -449,16 +514,13 @@ func (k *boundKernel) cgOperator() cg.MulVecer {
 	return cgOp{k}
 }
 
-func (k *boundKernel) MulVec(x, y []float64) {
-	if k.closed {
-		panic("symspmv: MulVec on closed Kernel")
-	}
-	k.mul(x, y)
-}
-func (k *boundKernel) Format() Format { return k.format }
-func (k *boundKernel) Threads() int   { return k.pool.Size() }
-func (k *boundKernel) Bytes() int64   { return k.bytes }
+func (k *boundKernel) MulVec(x, y []float64) { k.mulVecLocked(x, y) }
+func (k *boundKernel) Format() Format        { return k.format }
+func (k *boundKernel) Threads() int          { return k.pool.Size() }
+func (k *boundKernel) Bytes() int64          { return k.bytes }
 func (k *boundKernel) Close() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if !k.closed {
 		k.closed = true
 		k.pool.Close()
@@ -474,12 +536,19 @@ type CGResult = cg.Result
 // breakdown — check CGResult.Converged for that.
 type CGBreakdownError = cg.BreakdownError
 
-// CGOptions configures SolveCG.
+// CGOptions configures SolveCG, SolveCGJacobi, and SolveCGBlock.
 type CGOptions struct {
 	// MaxIter caps iterations (default 10·N).
 	MaxIter int
 	// Tol is the relative residual target (default 1e-10).
 	Tol float64
+	// Context, when non-nil, carries the solve's deadline and cancellation:
+	// it is checked between iterations, and a cancelled or expired context
+	// stops the solve with an error wrapping context.Canceled /
+	// context.DeadlineExceeded (match with errors.Is). x holds the last
+	// completed iterate. Cancellation latency is one iteration — an SpM×V
+	// in flight always runs to its barrier.
+	Context context.Context
 }
 
 // SolveCG solves A·x = b with the non-preconditioned Conjugate Gradient
@@ -496,9 +565,15 @@ func SolveCG(k Kernel, b, x []float64, opts CGOptions) (CGResult, error) {
 	if err != nil {
 		return CGResult{}, err
 	}
+	release, err := bk.acquire("SolveCG")
+	if err != nil {
+		return CGResult{}, err
+	}
+	defer release()
 	return cg.Solve(bk.cgOperator(), bk.pool, b, x, cg.Options{
 		MaxIter: opts.MaxIter,
 		Tol:     opts.Tol,
+		Context: opts.Context,
 	})
 }
 
@@ -515,9 +590,15 @@ func SolveCGJacobi(a *Matrix, k Kernel, b, x []float64, opts CGOptions) (CGResul
 	if a.sss.N != bk.n {
 		return CGResult{}, fmt.Errorf("symspmv: SolveCGJacobi: matrix N=%d, kernel N=%d", a.sss.N, bk.n)
 	}
+	release, err := bk.acquire("SolveCGJacobi")
+	if err != nil {
+		return CGResult{}, err
+	}
+	defer release()
 	return cg.SolvePCG(cg.MulVecFunc(bk.mul), cg.NewJacobi(a.sss.DValues), bk.pool, b, x, cg.Options{
 		MaxIter: opts.MaxIter,
 		Tol:     opts.Tol,
+		Context: opts.Context,
 	})
 }
 
@@ -526,7 +607,7 @@ func checkKernel(k Kernel, b, x []float64, op string) (*boundKernel, error) {
 	if !ok {
 		return nil, fmt.Errorf("symspmv: %s requires a Kernel from Matrix.Kernel", op)
 	}
-	if bk.closed {
+	if bk.isClosed() {
 		return nil, fmt.Errorf("symspmv: %s on closed Kernel", op)
 	}
 	if len(b) != bk.n || len(x) != bk.n {
