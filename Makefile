@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored vet bench bench-json bench-spmm bench-smoke ci tune-demo telemetry-smoke fuzz-smoke serve-smoke
+.PHONY: all build test race race-colored race-shard vet bench bench-json bench-spmm bench-smoke ci tune-demo telemetry-smoke fuzz-smoke serve-smoke
 
 all: build
 
@@ -20,6 +20,13 @@ race:
 race-colored:
 	$(GO) test -race -run Color ./internal/color ./internal/core .
 
+# race-shard focuses the race detector on the NUMA-sharded execution path:
+# the domain-scoped spin barriers, the hierarchical two-level reduction
+# (domain-local combine overlapping remote multiplies is exactly where a
+# misscoped barrier would race), and the differential topology sweep.
+race-shard:
+	$(GO) test -race -run 'Hier|Domain|Shard|Topolog' ./internal/parallel ./internal/partition ./internal/core ./internal/fuzzcheck .
+
 vet:
 	$(GO) vet ./...
 
@@ -31,9 +38,9 @@ bench:
 
 # bench-json measures every symmetric method (matrix × threads) on this host
 # with the per-phase breakdown and writes the machine-readable record to
-# BENCH_pr3.json.
+# BENCH_pr8.json.
 bench-json:
-	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr3.json
+	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr8.json
 
 # bench-spmm sweeps multi-RHS widths (scalar, spmm2/4/8, each with and
 # without hub caching where the analysis finds a hub) over a paper-suite
@@ -77,12 +84,13 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # ci is the gate for every change: vet (fails the build on findings), build,
-# the colored-schedule race focus, the full test suite under the race
+# the colored-schedule and sharded-execution race focuses, the full test
+# suite under the race
 # detector (the execution engine's spin barrier and phase fusion are exactly
 # the kind of code -race exists for), the telemetry smoke, the fuzz smoke
 # (differential checking plus a short run of each fuzz target), the SpMM
 # traffic-model smoke, and the serving-path smoke.
-ci: vet build race-colored race telemetry-smoke fuzz-smoke bench-smoke serve-smoke
+ci: vet build race-colored race-shard race telemetry-smoke fuzz-smoke bench-smoke serve-smoke
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/autotune"
+	"repro/internal/topo"
 )
 
 // Decision is the autotuner's full record of one plan selection: the chosen
@@ -69,6 +70,14 @@ func AutoReorder(enable bool) AutoOption {
 // wrapper is single-vector), and the winning plan is cached per width.
 func AutoVectors(nv int) AutoOption {
 	return func(o *autoOpts) { o.tune.NV = nv }
+}
+
+// AutoDomains overrides the NUMA domain count the hierarchical (domain-
+// sharded, two-level reduction) plan variants shard over. The default is the
+// detected machine topology; on single-domain machines no hierarchical
+// variants are generated. Pass 1 to suppress them explicitly.
+func AutoDomains(n int) AutoOption {
+	return func(o *autoOpts) { o.tune.Domains = n }
 }
 
 // AutoHub enables or disables the hub-cached plan variants (default:
@@ -158,7 +167,20 @@ func AutoKernel(a *Matrix, options ...AutoOption) (Kernel, *Decision, error) {
 		o.tune.Formats = append(o.tune.Formats, af)
 	}
 
-	key := autotune.Key{Fingerprint: autotune.Fingerprint(a.sss), Machine: autotune.MachineSignature(), NV: o.tune.NV}
+	// Resolve "detect" to the concrete topology before keying the cache: a
+	// plan raced against hierarchical variants must not answer a forced-flat
+	// lookup (or the reverse), and the detected count is machine state the
+	// signature alone does not carry.
+	domains := o.tune.Domains
+	if domains <= 0 {
+		domains = topo.Domains()
+	}
+	key := autotune.Key{
+		Fingerprint: autotune.Fingerprint(a.sss),
+		Machine:     autotune.MachineSignature(),
+		NV:          o.tune.NV,
+		Domains:     domains,
+	}
 	store := autotune.Store{Dir: o.cacheDir}
 	if !o.noCache {
 		// A corrupt or mismatched entry is a plain miss (the diagnostic is
@@ -206,6 +228,12 @@ func (a *Matrix) planKernel(plan autotune.Plan) (Kernel, error) {
 		return nil, fmt.Errorf("symspmv: plan format %v unknown", plan.Format)
 	}
 	opts := []Option{Threads(plan.Threads)}
+	if plan.Hierarchical && plan.Domains > 1 {
+		if plan.Reorder {
+			return nil, fmt.Errorf("symspmv: plan %v combines domain sharding with reordering", plan)
+		}
+		opts = append(opts, Domains(plan.Domains))
+	}
 	if plan.Hub {
 		if plan.Reorder {
 			return nil, fmt.Errorf("symspmv: plan %v combines hub caching with reordering", plan)

@@ -49,6 +49,7 @@ var formatNames = map[string]symspmv.Format{
 func main() {
 	format := flag.String("format", "sss-idx", "kernel format: auto|csr|csx|bcsr|csb|sss-naive|sss-eff|sss-idx|sss-color|csx-sym")
 	threads := flag.Int("threads", 4, "worker threads (with -format auto: the cap on searched thread counts)")
+	domains := flag.Int("domains", 1, "NUMA domains to shard workers over: >1 enables the hierarchical two-level reduction on the SSS formats, 0 detects the machine topology (with -format auto: the domain count the sharded plan variants use)")
 	tol := flag.Float64("tol", 1e-10, "relative residual target")
 	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = 10·N)")
 	rhsOnes := flag.Bool("rhs-ones", true, "b = A·1 (exact solution known); false: pseudo-random b")
@@ -114,6 +115,9 @@ func main() {
 		if *nv > 1 {
 			opts = append(opts, symspmv.AutoVectors(*nv))
 		}
+		if *domains != 0 {
+			opts = append(opts, symspmv.AutoDomains(*domains))
+		}
 		// -hub is only a forced option for fixed formats; the autotuner
 		// prices hub plans on its own and lands one when the model says so.
 		switch *tuneCache {
@@ -149,6 +153,9 @@ func main() {
 		}
 		if k == nil {
 			kopts := []symspmv.Option{symspmv.Threads(*threads)}
+			if *domains != 1 {
+				kopts = append(kopts, symspmv.Domains(*domains))
+			}
 			if *hubCache {
 				kopts = append(kopts, symspmv.HubCache())
 			}

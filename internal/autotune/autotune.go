@@ -20,6 +20,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
 	"repro/internal/reorder"
+	"repro/internal/topo"
 )
 
 // Tuner telemetry: completed searches and individual timed trials.
@@ -84,6 +85,12 @@ type Plan struct {
 	Threads int
 	Reorder bool // build on the RCM-permuted matrix, permuting x/y around the kernel
 	Hub     bool // hub-cached x access (symmetric formats on degree-skewed matrices)
+	// Domains is the NUMA domain count the plan shards over (0 and 1 both
+	// mean a flat single-domain pool); Hierarchical selects the two-level
+	// domain reduction on such a pool. Only the local-vector SSS formats
+	// generate hierarchical plans.
+	Domains      int
+	Hierarchical bool
 }
 
 // String renders the plan compactly, e.g. "SSS-indexed p=4 (RCM)".
@@ -95,7 +102,21 @@ func (p Plan) String() string {
 	if p.Hub {
 		s += " +hub"
 	}
+	if p.Domains > 1 {
+		s += fmt.Sprintf(" d=%d", p.Domains)
+		if p.Hierarchical {
+			s += "+hier"
+		}
+	}
 	return s
+}
+
+// domains reports the pool domain count the plan executes on.
+func (p Plan) domains() int {
+	if p.Hierarchical && p.Domains > 1 {
+		return p.Domains
+	}
+	return 1
 }
 
 // spmmCapable reports whether the format has a multi-RHS (SpMM) kernel: CSR
@@ -112,6 +133,16 @@ func (f Format) spmmCapable() bool {
 func (f Format) hubCapable() bool {
 	switch f {
 	case SSSNaive, SSSEffective, SSSIndexed, SSSColored, CSXSym:
+		return true
+	}
+	return false
+}
+
+// shardCapable reports whether the format has the hierarchical (domain-
+// sharded, two-level reduction) execution path: the local-vector SSS methods.
+func (f Format) shardCapable() bool {
+	switch f {
+	case SSSNaive, SSSEffective, SSSIndexed:
 		return true
 	}
 	return false
@@ -192,6 +223,10 @@ type Options struct {
 	// SpMM-capable formats, the model prices each candidate's SpMM sweep,
 	// and the micro-trials time MulMat. Default 1 (plain SpMV).
 	NV int
+	// Domains overrides the NUMA domain count the hierarchical candidates
+	// shard over (default: the detected topology, topo.Domains()). On one
+	// domain no hierarchical candidates are generated.
+	Domains int
 	// DisableHub removes the hub-cached variants from the space.
 	DisableHub bool
 	// Platform overrides the model-stage platform (default a host-derived
@@ -221,6 +256,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AmortizeOps <= 0 {
 		o.AmortizeOps = 1000
+	}
+	if o.Domains <= 0 {
+		o.Domains = topo.Domains()
 	}
 	if o.NV < 1 {
 		o.NV = 1
@@ -267,9 +305,10 @@ type tuner struct {
 	pl   perfmodel.Platform
 	d    *Decision
 
-	pools     map[int]*parallel.Pool
+	pools     map[[2]int]*parallel.Pool // keyed by (threads, domains)
 	symStats  map[int][2]int64
-	colorMemo map[int]int // colored-schedule phase count per thread count
+	colorMemo map[int]int   // colored-schedule phase count per thread count
+	hierMemo  map[int]int64 // hierarchical cross-window bytes per domain count
 
 	csrBuilt *csr.Matrix // memoized expanded operator
 
@@ -301,9 +340,10 @@ func Tune(pr Problem, o Options) (*Decision, error) {
 		o:         o,
 		feat:      ExtractFeatures(pr.Stats),
 		d:         &Decision{},
-		pools:     make(map[int]*parallel.Pool),
+		pools:     make(map[[2]int]*parallel.Pool),
 		symStats:  make(map[int][2]int64),
 		colorMemo: make(map[int]int),
+		hierMemo:  make(map[int]int64),
 		csrBuilt:  pr.CSR,
 	}
 	if o.Platform != nil {
@@ -324,12 +364,23 @@ func Tune(pr Problem, o Options) (*Decision, error) {
 	return t.d, nil
 }
 
-func (t *tuner) pool(p int) *parallel.Pool {
-	if pl, ok := t.pools[p]; ok {
+// pool returns the shared warm pool for (threads, domains), creating it on
+// first use. d ≤ 1 is the flat pool every non-hierarchical plan runs on.
+func (t *tuner) pool(p, d int) *parallel.Pool {
+	if d < 1 {
+		d = 1
+	}
+	key := [2]int{p, d}
+	if pl, ok := t.pools[key]; ok {
 		return pl
 	}
-	pl := parallel.NewPool(p)
-	t.pools[p] = pl
+	var pl *parallel.Pool
+	if d > 1 {
+		pl = parallel.NewPoolDomains(p, d)
+	} else {
+		pl = parallel.NewPool(p)
+	}
+	t.pools[key] = pl
 	return pl
 }
 
@@ -346,8 +397,20 @@ func (t *tuner) closePools() {
 // reordering could pay. Returns the indices of the surviving candidates.
 func (t *tuner) modelStage() []int {
 	ps := threadCandidates(t.o.MaxThreads)
-	price := func(f Format, p int, reordered, hubbed bool) float64 {
+	price := func(f Format, p int, reordered, hubbed bool, hierDomains int) float64 {
 		c := t.modelCost(f, p, reordered)
+		if f.shardCapable() && p > 1 {
+			if hierDomains > 1 {
+				// Two-level reduction: only the shard-boundary windows cross
+				// domains, at the cost of one extra phase barrier.
+				c.RedCrossBytes = t.hierCrossBytes(hierDomains)
+				c.ExtraBarriers++
+			} else if t.o.Domains > 1 {
+				// A flat all-to-all reduction on a multi-domain machine sends
+				// the remote share of the local-vector stream across domains.
+				c.RedCrossBytes = t.flatCrossBytes(f, p, t.o.Domains)
+			}
+		}
 		if hubbed {
 			plan := t.hubPlan()
 			c = c.WithHub(plan.Covered, plan.K(), p)
@@ -357,7 +420,7 @@ func (t *tuner) modelStage() []int {
 	for _, f := range t.o.Formats {
 		best := Candidate{Plan: Plan{Format: f}, ModeledSeconds: -1}
 		for _, p := range ps {
-			sec := price(f, p, false, false)
+			sec := price(f, p, false, false, 0)
 			if best.ModeledSeconds < 0 || sec < best.ModeledSeconds {
 				best.Plan.Threads = p
 				best.ModeledSeconds = sec
@@ -369,8 +432,22 @@ func (t *tuner) modelStage() []int {
 		// the O(nnz) hub analysis off mesh-like matrices entirely.
 		if !t.o.DisableHub && f.hubCapable() && t.feat.DegreeSkew >= 8 && t.hubPlan() != nil {
 			hc := Candidate{Plan: Plan{Format: f, Threads: best.Threads, Hub: true}}
-			hc.ModeledSeconds = price(f, best.Threads, false, true)
+			hc.ModeledSeconds = price(f, best.Threads, false, true, 0)
 			t.d.Candidates = append(t.d.Candidates, hc)
+		}
+		// Hierarchical domain-sharded variant: multi-domain machines only,
+		// local-vector SSS methods only. SpMM always reduces flat, so NV>1
+		// searches skip it.
+		if t.o.NV == 1 && t.o.Domains > 1 && f.shardCapable() {
+			d := t.o.Domains
+			if d > best.Threads {
+				d = best.Threads // the pool clamps domains to the thread count
+			}
+			if d > 1 {
+				hc := Candidate{Plan: Plan{Format: f, Threads: best.Threads, Domains: d, Hierarchical: true}}
+				hc.ModeledSeconds = price(f, best.Threads, false, false, d)
+				t.d.Candidates = append(t.d.Candidates, hc)
+			}
 		}
 	}
 
@@ -418,6 +495,9 @@ func (t *tuner) modelStage() []int {
 	if !t.o.DisableReorder && t.pl.XMissFraction(t.feat.XSpanBytes) > 0.02 {
 		for _, i := range append([]int(nil), survivors...) {
 			c := t.d.Candidates[i]
+			if c.Hierarchical {
+				continue // the flat survivor already yields the RCM variant
+			}
 			rc := Candidate{Plan: Plan{Format: c.Format, Threads: c.Threads, Reorder: true}}
 			rc.ModeledSeconds = t.modelCost(c.Format, c.Threads, true).Seconds(t.pl, c.Threads)
 			t.d.Candidates = append(t.d.Candidates, rc)
@@ -615,8 +695,11 @@ func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc
 			return nil, 0, 0, fmt.Errorf("autotune: %v: no profitable hub", plan)
 		}
 	}
+	if plan.Hierarchical && !plan.Format.shardCapable() {
+		return nil, 0, 0, fmt.Errorf("autotune: %v: format has no hierarchical path", plan)
+	}
 	nv := t.o.NV
-	pool := t.pool(plan.Threads)
+	pool := t.pool(plan.Threads, plan.domains())
 	csxOpts := csx.DefaultOptions()
 	if t.o.CSXOptions != nil {
 		csxOpts = *t.o.CSXOptions
@@ -656,7 +739,7 @@ func (t *tuner) build(plan Plan) (mul func(x, y []float64), bytes int64, preproc
 			SSSIndexed: core.Indexed, SSSAtomic: core.Atomic,
 			SSSColored: core.Colored,
 		}[plan.Format]
-		k, kerr := core.NewKernelOpts(s, method, pool, core.KernelOptions{Hub: hp})
+		k, kerr := core.NewKernelOpts(s, method, pool, core.KernelOptions{Hub: hp, FlatReduction: !plan.Hierarchical})
 		if kerr != nil {
 			return nil, 0, 0, kerr
 		}

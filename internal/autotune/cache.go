@@ -6,7 +6,9 @@ package autotune
 //
 //	magic "ATNC" | version u32 |
 //	fingerprint u64 | machineLen u32 | machine bytes | nv u32 |
-//	format u32 | threads u32 | reorder u8 | hub u8 | scoreNs f64 |
+//	keyDomains u32 |
+//	format u32 | threads u32 | reorder u8 | hub u8 |
+//	domains u32 | hierarchical u8 | scoreNs f64 |
 //	crc32 (IEEE) of everything above
 //
 // All integers are little-endian. A file that is truncated, bit-flipped,
@@ -53,22 +55,27 @@ func CacheStats() (hits, misses, corrupt int64) {
 
 const (
 	cacheMagic = "ATNC"
-	// cacheVersion 3: the plan space gained hub-cached variants and
-	// multi-RHS (NV>1) tuning, and the entry format gained the hub flag and
-	// the NV the plan was tuned for. v2 entries never raced a hub plan and
-	// carry no NV, so they read as a clean miss and retune. (v2 itself added
-	// the SSS-colored format over v1, for the same reason.)
-	cacheVersion = 3
+	// cacheVersion 4: the plan space gained NUMA domain-sharded hierarchical
+	// variants, and the entry format gained the domain count and hierarchical
+	// flag. v3 entries never raced a hierarchical plan, so they read as a
+	// clean miss and retune. (v3 added hub variants and NV over v2; v2 added
+	// the SSS-colored format over v1.)
+	cacheVersion = 4
 )
 
 // Key identifies one tuning-cache entry: the matrix structure fingerprint,
-// the machine signature, and the vector count the plan was tuned for (0 and
-// 1 both mean single-vector SpMV). Values are excluded from the fingerprint
-// on purpose — the plan depends only on structure.
+// the machine signature, the vector count the plan was tuned for (0 and 1
+// both mean single-vector SpMV), and the domain count the search sharded
+// over (0 and 1 both mean flat). A plan raced against hierarchical
+// 2-domain variants must not answer a forced-flat lookup, and vice versa —
+// the caller resolves "detect" to a concrete count before building the key.
+// Values are excluded from the fingerprint on purpose — the plan depends
+// only on structure.
 type Key struct {
 	Fingerprint uint64
 	Machine     string
 	NV          int
+	Domains     int
 }
 
 // nv normalizes the vector count (0 → 1).
@@ -77,6 +84,14 @@ func (k Key) nv() uint32 {
 		return 1
 	}
 	return uint32(k.NV)
+}
+
+// domains normalizes the domain count (0 → 1).
+func (k Key) domains() uint32 {
+	if k.Domains < 1 {
+		return 1
+	}
+	return uint32(k.Domains)
 }
 
 // Fingerprint hashes the matrix structure (dimension and sparsity pattern,
@@ -146,6 +161,11 @@ func (st Store) path(k Key) string {
 		// per tuned width.
 		name += fmt.Sprintf("-nv%d", nv)
 	}
+	if d := k.domains(); d > 1 {
+		// Domain-sharded searches likewise get their own file per domain
+		// count, beside the flat plan.
+		name += fmt.Sprintf("-d%d", d)
+	}
 	return filepath.Join(st.Dir, name+".atc")
 }
 
@@ -166,17 +186,23 @@ func (st Store) Save(k Key, p Plan, scoreNs float64) error {
 	put(uint32(len(k.Machine)))
 	w.Write([]byte(k.Machine))
 	put(k.nv())
+	put(k.domains())
 	put(uint32(p.Format))
 	put(uint32(p.Threads))
-	var re, hb uint8
+	var re, hb, hier uint8
 	if p.Reorder {
 		re = 1
 	}
 	if p.Hub {
 		hb = 1
 	}
+	if p.Hierarchical {
+		hier = 1
+	}
 	put(re)
 	put(hb)
+	put(uint32(p.Domains))
+	put(hier)
 	put(scoreNs)
 	binary.Write(&body, binary.LittleEndian, crc.Sum32())
 
@@ -250,10 +276,13 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if _, err := io.ReadFull(tr, machine); err != nil {
 		return Plan{}, fmt.Errorf("reading machine signature: %w", err)
 	}
-	var nv, format, threads uint32
-	var re, hb uint8
+	var nv, keyDomains, format, threads, domains uint32
+	var re, hb, hier uint8
 	var score float64
 	if err := get(&nv); err != nil {
+		return Plan{}, err
+	}
+	if err := get(&keyDomains); err != nil {
 		return Plan{}, err
 	}
 	if err := get(&format); err != nil {
@@ -268,6 +297,12 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if err := get(&hb); err != nil {
 		return Plan{}, err
 	}
+	if err := get(&domains); err != nil {
+		return Plan{}, err
+	}
+	if err := get(&hier); err != nil {
+		return Plan{}, err
+	}
 	if err := get(&score); err != nil {
 		return Plan{}, err
 	}
@@ -279,8 +314,8 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if gotSum != wantSum {
 		return Plan{}, fmt.Errorf("checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
 	}
-	if fp != k.Fingerprint || string(machine) != k.Machine || nv != k.nv() {
-		return Plan{}, fmt.Errorf("entry keyed to a different matrix, machine, or vector count")
+	if fp != k.Fingerprint || string(machine) != k.Machine || nv != k.nv() || keyDomains != k.domains() {
+		return Plan{}, fmt.Errorf("entry keyed to a different matrix, machine, vector count, or domain count")
 	}
 	if format >= uint32(NumFormats) {
 		return Plan{}, fmt.Errorf("unknown format %d", format)
@@ -288,7 +323,16 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if threads == 0 || threads > 1<<16 {
 		return Plan{}, fmt.Errorf("implausible thread count %d", threads)
 	}
-	return Plan{Format: Format(format), Threads: int(threads), Reorder: re != 0, Hub: hb != 0}, nil
+	if domains > threads {
+		return Plan{}, fmt.Errorf("implausible domain count %d for %d threads", domains, threads)
+	}
+	if hier != 0 && domains < 2 {
+		return Plan{}, fmt.Errorf("hierarchical plan with %d domains", domains)
+	}
+	return Plan{
+		Format: Format(format), Threads: int(threads), Reorder: re != 0, Hub: hb != 0,
+		Domains: int(domains), Hierarchical: hier != 0,
+	}, nil
 }
 
 // DefaultCacheDir is the conventional persistent cache location

@@ -38,6 +38,16 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err != nil || !ok || got != want2 {
 		t.Fatalf("after overwrite: plan %v ok %v err %v, want %v", got, ok, err, want2)
 	}
+
+	// Hierarchical domain-sharded plans survive the v4 encoding.
+	want3 := Plan{Format: SSSNaive, Threads: 8, Domains: 2, Hierarchical: true}
+	if err := st.Save(k, want3, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = st.Load(k)
+	if err != nil || !ok || got != want3 {
+		t.Fatalf("hierarchical roundtrip: plan %v ok %v err %v, want %v", got, ok, err, want3)
+	}
 }
 
 func TestStoreAbsentIsPlainMiss(t *testing.T) {
@@ -113,7 +123,7 @@ func TestStoreRejectsForeignKey(t *testing.T) {
 	if ok || err == nil {
 		t.Fatalf("foreign key: plan %v ok %v err %v, want miss + error", p, ok, err)
 	}
-	if !strings.Contains(err.Error(), "different matrix, machine, or vector count") {
+	if !strings.Contains(err.Error(), "different matrix, machine, vector count, or domain count") {
 		t.Fatalf("foreign key diagnostic = %v", err)
 	}
 }
@@ -163,5 +173,36 @@ func TestMachineSignatureStable(t *testing.T) {
 	}
 	if !strings.Contains(a, "gomaxprocs=") {
 		t.Fatalf("MachineSignature missing thread budget: %q", a)
+	}
+}
+
+// TestCacheKeyedByDomains: a plan tuned under a domain-sharded search must
+// not answer a flat lookup of the same matrix, and vice versa — the two
+// searches race different candidate spaces.
+func TestCacheKeyedByDomains(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	k2 := Key{Fingerprint: 0x77, Machine: "m", Domains: 2}
+	want := Plan{Format: SSSNaive, Threads: 4, Domains: 2, Hierarchical: true}
+	if err := st.Save(k2, want, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Load(k2)
+	if err != nil || !ok || got != want {
+		t.Fatalf("Load = %v, %v, %v; want %v", got, ok, err, want)
+	}
+	if _, ok, _ := st.Load(Key{Fingerprint: 0x77, Machine: "m"}); ok {
+		t.Fatal("Domains=2 entry answered a flat lookup")
+	}
+	if _, ok, _ := st.Load(Key{Fingerprint: 0x77, Machine: "m", Domains: 4}); ok {
+		t.Fatal("Domains=2 entry answered a Domains=4 lookup")
+	}
+	// Domains 0 and 1 are the same (flat) key: a flat entry answers both.
+	flat := Plan{Format: SSSIndexed, Threads: 2}
+	if err := st.Save(Key{Fingerprint: 0x78, Machine: "m", Domains: 1}, flat, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = st.Load(Key{Fingerprint: 0x78, Machine: "m"})
+	if err != nil || !ok || got != flat {
+		t.Fatalf("flat Load = %v, %v, %v; want %v", got, ok, err, flat)
 	}
 }

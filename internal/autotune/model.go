@@ -3,6 +3,7 @@ package autotune
 import (
 	"repro/internal/color"
 	"repro/internal/core"
+	"repro/internal/partition"
 	"repro/internal/perfmodel"
 )
 
@@ -70,6 +71,68 @@ func (t *tuner) crossElems(p int) int64 {
 		frac = 1
 	}
 	return int64(frac * float64(t.feat.NNZLower))
+}
+
+// hierCrossBytes computes the cross-domain stream of the hierarchical
+// two-level reduction at d domains, memoized per domain count: 8 bytes per
+// shard-boundary window element, with window_d = domStart_d − min ColIdx over
+// the domain's rows — exactly the buffers core's hierarchical kernel stages
+// (domain 0 has no earlier domain and crosses nothing). One O(nnz) scan per
+// distinct d, the same cost class as symbolic().
+func (t *tuner) hierCrossBytes(d int) int64 {
+	if v, ok := t.hierMemo[d]; ok {
+		return v
+	}
+	s := t.pr.S
+	wpd := make([]int, d)
+	for i := range wpd {
+		wpd[i] = 1
+	}
+	_, dom := partition.ByNNZDomains(s.RowPtr, wpd)
+	var total int64
+	for dd := 1; dd < d; dd++ {
+		ds, de := dom.Start[dd], dom.End[dd]
+		low := ds
+		for j := s.RowPtr[ds]; j < s.RowPtr[de]; j++ {
+			if c := s.ColIdx[j]; c < low {
+				low = c
+			}
+		}
+		total += 8 * int64(ds-low)
+	}
+	t.hierMemo[d] = total
+	return total
+}
+
+// flatCrossBytes estimates the cross-domain share of a flat all-to-all
+// reduction's stream on a d-domain machine at p threads: with threads spread
+// evenly over domains, each domain's reducers read the remote portion of the
+// local vectors (naive: everything outside the domain; effective ranges:
+// roughly half, since region t spans [0, start_t); indexed: the index entries
+// whose transposed write reaches past the source shard, estimated from the
+// average bandwidth). These are machine-model estimates for ranking — the
+// built kernel's Traffic() counts the real thing.
+func (t *tuner) flatCrossBytes(f Format, p, d int) int64 {
+	n := int64(t.feat.N)
+	pp, dd := int64(p), int64(d)
+	switch f {
+	case SSSNaive:
+		return 8 * pp * n * (dd - 1) / dd
+	case SSSEffective:
+		return 4 * pp * n * (dd - 1) / dd
+	case SSSIndexed:
+		e, _ := t.symbolic(p)
+		reach := t.feat.AvgBandwidth
+		if chunk := float64(n) / float64(d); reach > chunk {
+			reach = chunk
+		}
+		frac := float64(d-1) * reach / float64(n)
+		if frac > 1 {
+			frac = 1
+		}
+		return int64(8 * frac * float64(e))
+	}
+	return 0
 }
 
 // modelCost builds the roofline account of one candidate. For reordered

@@ -105,20 +105,29 @@ type Kernel struct {
 	hotX    [][]float64
 	hotMat  [][]float64
 
+	// hier is the two-level reduction plan (hier.go), non-nil only when the
+	// pool has multiple domains, the method keeps local vectors, and the
+	// flat reduction was not forced. Single-domain kernels never build it,
+	// which is what keeps them bitwise identical to the pre-domain code.
+	hier *hierState
+
 	// curX/curY are the operands of the operation in flight. The phase lists
 	// are assembled once (phasesPlain in NewKernel, phasesDot on the first
 	// MulVecDot, phasesMat on the first MulMat of a given nv) as closures
 	// that read these fields, so repeated operations reuse the same closures
 	// and the hot path allocates nothing. A Kernel has never supported
 	// concurrent operations — it owns per-thread local vectors — so a single
-	// operand slot is safe.
+	// operand slot is safe. Phases carry the barrier scope closing them
+	// (parallel.Phase); flat lists are all-global.
 	curX, curY  []float64
-	phasesPlain []func(tid int)
-	phasesDot   []func(tid int)
+	phasesPlain []parallel.Phase
+	phasesDot   []parallel.Phase
 
 	// SpMM state: the phase list of the most recent MulMat vector count.
-	// Switching nv reassembles; steady-state block solvers reuse it.
-	phasesMat []func(tid int)
+	// Switching nv reassembles; steady-state block solvers reuse it. SpMM
+	// always reduces flat — the wide locals dwarf the staging windows, so
+	// the hierarchical schedule has nothing to save there yet.
+	phasesMat []parallel.Phase
 	matNV     int
 
 	// Interned trace span names for each phase list, built on first sampled
@@ -133,9 +142,17 @@ type Kernel struct {
 type KernelOptions struct {
 	// Hub enables hub-cached x access: the kernel walks Hub.Enc instead of
 	// the matrix's ColIdx and serves encoded gathers from per-worker hot
-	// windows. Must have been built by hub.Analyze over this matrix's
-	// structure. Not supported by the Atomic method.
+	// windows (per-domain shared windows on a hierarchical kernel). Must
+	// have been built by hub.Analyze over this matrix's structure. Not
+	// supported by the Atomic method.
 	Hub *hub.Plan
+
+	// FlatReduction forces the single-level reduction even on a multi-domain
+	// pool — the A/B baseline of the sharded experiment and the flat
+	// comparator of the traffic model. The row partition stays domain-aligned
+	// so the multiply phases are identical; only the reduction differs. No
+	// effect on single-domain pools.
+	FlatReduction bool
 }
 
 // NewKernel builds the parallel kernel. The partition is computed over the
@@ -165,7 +182,21 @@ func NewKernelOpts(s *SSS, method ReductionMethod, pool *parallel.Pool, opts Ker
 		}
 	}
 	p := pool.Size()
-	part := partition.ByNNZ(s.RowPtr, p)
+	d := pool.Domains()
+	var part, domPart *partition.RowPartition
+	if d > 1 {
+		// Domain-aligned sharding: rows split across domains by nnz, then
+		// among each domain's workers. Used for flat kernels too, so a
+		// flat-vs-hierarchical comparison shares the exact multiply phase.
+		wpd := make([]int, d)
+		for dd := range wpd {
+			lo, hi := pool.DomainWorkers(dd)
+			wpd[dd] = hi - lo
+		}
+		part, domPart = partition.ByNNZDomains(s.RowPtr, wpd)
+	} else {
+		part = partition.ByNNZ(s.RowPtr, p)
+	}
 	k := &Kernel{
 		S:       s,
 		Method:  method,
@@ -173,12 +204,6 @@ func NewKernelOpts(s *SSS, method ReductionMethod, pool *parallel.Pool, opts Ker
 		pool:    pool,
 		p:       p,
 		hubPlan: opts.Hub,
-	}
-	if k.hubPlan != nil {
-		k.hotX = make([][]float64, p)
-		for t := 0; t < p; t++ {
-			k.hotX[t] = make([]float64, k.hubPlan.K())
-		}
 	}
 	switch method {
 	case Atomic:
@@ -193,10 +218,36 @@ func NewKernelOpts(s *SSS, method ReductionMethod, pool *parallel.Pool, opts Ker
 			touched = TouchedColumns(s, part, pool)
 		}
 		k.LV = NewLocalVectors(s.N, part, method, touched)
+		if d > 1 && !opts.FlatReduction {
+			k.hier = newHierState(k, domPart)
+			xdomainBytes.Set(float64(k.hier.crossBytes))
+		}
+	}
+	if k.hubPlan != nil {
+		k.hotX = make([][]float64, p)
+		if k.hier != nil {
+			// One shared hot window per domain, cooperatively prefilled by
+			// the domain's workers under the local barrier (hier.go).
+			for dd := 0; dd < d; dd++ {
+				w := make([]float64, k.hubPlan.K())
+				lo, hi := pool.DomainWorkers(dd)
+				for t := lo; t < hi; t++ {
+					k.hotX[t] = w
+				}
+			}
+		} else {
+			for t := 0; t < p; t++ {
+				k.hotX[t] = make([]float64, k.hubPlan.K())
+			}
+		}
 	}
 	k.phasesPlain = k.assemble(nil)
 	return k, nil
 }
+
+// Hierarchical reports whether this kernel runs the two-level domain
+// reduction (hier.go).
+func (k *Kernel) Hierarchical() bool { return k.hier != nil }
 
 // Hub reports the hub plan this kernel was built with; nil for plain
 // kernels.
@@ -212,9 +263,9 @@ func (k *Kernel) MulVec(x, y []float64) {
 	k.checkDims(x, y)
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesPlain, k.namesPlain(), phaseObs[k.Method])
+		k.timedRun(k.phasesPlain, k.phaseKinds(len(k.phasesPlain)), k.namesPlain(), phaseObs[k.Method], true)
 	} else {
-		k.pool.RunPhases(k.phasesPlain...)
+		k.pool.RunPhaseList(k.phasesPlain)
 	}
 	k.curX, k.curY = nil, nil
 }
@@ -234,9 +285,9 @@ func (k *Kernel) MulVecDot(x, y []float64) float64 {
 	}
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesDot, k.namesDot(), phaseObs[k.Method])
+		k.timedRun(k.phasesDot, k.phaseKinds(len(k.phasesDot)), k.namesDot(), phaseObs[k.Method], true)
 	} else {
-		k.pool.RunPhases(k.phasesDot...)
+		k.pool.RunPhaseList(k.phasesDot)
 	}
 	k.curX, k.curY = nil, nil
 	total := 0.0
@@ -253,12 +304,31 @@ func (k *Kernel) checkDims(x, y []float64) {
 	}
 }
 
-// assemble builds the multiply→reduce phase list for this kernel as closures
-// over k.curX/k.curY, the operand slots MulVec sets per call. The list is
-// built once and reused for every operation, which is what keeps the hot
-// path allocation-free. With dot non-nil the chain additionally leaves xᵀy
+// assemble builds the phase list for this kernel: the hierarchical chain
+// when a two-level plan exists, the flat multiply→reduce chain otherwise.
+func (k *Kernel) assemble(dot []float64) []parallel.Phase {
+	if k.hier != nil {
+		return k.assembleHier(dot)
+	}
+	return globalPhases(k.assembleFlat(dot))
+}
+
+// globalPhases wraps a flat phase list: every boundary is a whole-pool
+// barrier, the semantics RunPhases always had.
+func globalPhases(fns []func(tid int)) []parallel.Phase {
+	out := make([]parallel.Phase, len(fns))
+	for i, fn := range fns {
+		out[i] = parallel.Phase{Fn: fn}
+	}
+	return out
+}
+
+// assembleFlat builds the flat multiply→reduce phase list as closures over
+// k.curX/k.curY, the operand slots MulVec sets per call. The list is built
+// once and reused for every operation, which is what keeps the hot path
+// allocation-free. With dot non-nil the chain additionally leaves xᵀy
 // partial sums in dot[tid*DotStride].
-func (k *Kernel) assemble(dot []float64) []func(tid int) {
+func (k *Kernel) assembleFlat(dot []float64) []func(tid int) {
 	switch k.Method {
 	case Naive:
 		mult := func(tid int) { k.multiplyNaiveT(tid, k.curX) }

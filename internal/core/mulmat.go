@@ -69,9 +69,9 @@ func (k *Kernel) MulMat(x, y []float64, nv int) error {
 	}
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesMat, k.namesMat(), spmmObs[k.Method])
+		k.timedRun(k.phasesMat, k.phaseKindsMat(len(k.phasesMat)), k.namesMat(), spmmObs[k.Method], false)
 	} else {
-		k.pool.RunPhases(k.phasesMat...)
+		k.pool.RunPhaseList(k.phasesMat)
 	}
 	k.curX, k.curY = nil, nil
 	return nil
@@ -106,7 +106,7 @@ func (k *Kernel) assembleMat(nv int) {
 		}
 	}
 	if k.Method == Colored {
-		k.phasesMat = k.assembleColoredMat(nv)
+		k.phasesMat = globalPhases(k.assembleColoredMat(nv))
 	} else {
 		k.ensureWideLocals(nv)
 		var mult, red func(int)
@@ -121,7 +121,7 @@ func (k *Kernel) assembleMat(nv int) {
 			mult = k.matMultEffective(nv)
 			red = func(tid int) { k.reduceMatEffectiveT(tid, nv) }
 		}
-		k.phasesMat = []func(int){mult, red}
+		k.phasesMat = globalPhases([]func(int){mult, red})
 	}
 	k.matNV = nv
 	k.traceNamesMat = nil

@@ -67,10 +67,11 @@ func (mo *methodObs) observe(pt PhaseTimes) {
 
 // buildTraceNames interns the span names of an n-phase list under prefix.
 // Reduction methods run multiply→reduce (→dot for the Indexed fused
-// variant); the colored method runs init→color₀…→colorₖ₋₁ (→dot), one span
-// name per color so the perfetto view shows the schedule's full phase
-// structure.
-func (k *Kernel) buildTraceNames(n int, prefix string) []obs.NameID {
+// variant); with hier set the chain is [prefill→]multiply→reduce-intra→
+// reduce-cross(→dot); the colored method runs init→color₀…→colorₖ₋₁ (→dot),
+// one span name per color so the perfetto view shows the schedule's full
+// phase structure.
+func (k *Kernel) buildTraceNames(n int, prefix string, hier bool) []obs.NameID {
 	out := make([]obs.NameID, n)
 	if k.Method == Colored {
 		out[0] = obs.RegisterName(prefix + "/init")
@@ -79,6 +80,23 @@ func (k *Kernel) buildTraceNames(n int, prefix string) []obs.NameID {
 		}
 		if n == k.sched.NumColors+2 {
 			out[n-1] = obs.RegisterName(prefix + "/dot")
+		}
+		return out
+	}
+	if hier {
+		i := 0
+		if k.hubPlan != nil {
+			out[i] = obs.RegisterName(prefix + "/prefill")
+			i++
+		}
+		out[i] = obs.RegisterName(prefix + "/multiply")
+		i++
+		for _, name := range []string{"/reduce-intra", "/reduce-cross", "/dot"} {
+			if i >= n {
+				break
+			}
+			out[i] = obs.RegisterName(prefix + name)
+			i++
 		}
 		return out
 	}
@@ -94,21 +112,21 @@ func (k *Kernel) buildTraceNames(n int, prefix string) []obs.NameID {
 
 func (k *Kernel) namesPlain() []obs.NameID {
 	if k.traceNamesPlain == nil {
-		k.traceNamesPlain = k.buildTraceNames(len(k.phasesPlain), k.Method.String())
+		k.traceNamesPlain = k.buildTraceNames(len(k.phasesPlain), k.Method.String(), k.hier != nil)
 	}
 	return k.traceNamesPlain
 }
 
 func (k *Kernel) namesDot() []obs.NameID {
 	if k.traceNamesDot == nil {
-		k.traceNamesDot = k.buildTraceNames(len(k.phasesDot), k.Method.String())
+		k.traceNamesDot = k.buildTraceNames(len(k.phasesDot), k.Method.String(), k.hier != nil)
 	}
 	return k.traceNamesDot
 }
 
 func (k *Kernel) namesMat() []obs.NameID {
 	if k.traceNamesMat == nil {
-		k.traceNamesMat = k.buildTraceNames(len(k.phasesMat), k.Method.String()+"-spmm")
+		k.traceNamesMat = k.buildTraceNames(len(k.phasesMat), k.Method.String()+"-spmm", false)
 	}
 	return k.traceNamesMat
 }

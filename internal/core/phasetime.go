@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // PhaseKind classifies one execution phase of a kernel operation for the
@@ -49,16 +50,44 @@ func (t *PhaseTimes) Add(o PhaseTimes) {
 	t.Ops += ops
 }
 
-// phaseKinds labels an n-phase list assembled by assemble(). Every reduction
-// method runs multiply→reduce (the Atomic finalize pass counts as its
-// reduction); a trailing fused-dot phase (Indexed MulVecDot) is compute
-// work. The colored method runs the diagonal init plus one phase per color
-// (plus the optional dot), all compute — zero reduction work by
-// construction, which the timed path makes directly observable.
+// phaseKinds labels an n-phase MulVec/MulVecDot list assembled by
+// assemble(). Every reduction method runs multiply→reduce (the Atomic
+// finalize pass counts as its reduction); a trailing fused-dot phase
+// (Indexed MulVecDot) is compute work. The colored method runs the diagonal
+// init plus one phase per color (plus the optional dot), all compute — zero
+// reduction work by construction, which the timed path makes directly
+// observable. A hierarchical list runs [prefill→]multiply (compute), then
+// intra-domain combine and cross-domain fold (both reduction), with the
+// Indexed fused-dot variant's trailing sweep again compute.
 func (k *Kernel) phaseKinds(n int) []PhaseKind {
 	kinds := make([]PhaseKind, n)
 	if k.Method == Colored {
 		return kinds // all PhaseCompute
+	}
+	if k.hier != nil {
+		first := 1 // index of the first post-multiply phase
+		if k.hubPlan != nil {
+			first = 2
+		}
+		for i := first; i < n; i++ {
+			kinds[i] = PhaseReduction
+		}
+		if k.Method == Indexed && n == first+3 {
+			kinds[n-1] = PhaseCompute // trailing fused-dot sweep
+		}
+		return kinds
+	}
+	if n > 1 {
+		kinds[1] = PhaseReduction
+	}
+	return kinds
+}
+
+// phaseKindsMat labels the SpMM phase list, which always reduces flat.
+func (k *Kernel) phaseKindsMat(n int) []PhaseKind {
+	kinds := make([]PhaseKind, n)
+	if k.Method == Colored {
+		return kinds
 	}
 	if n > 1 {
 		kinds[1] = PhaseReduction
@@ -76,7 +105,7 @@ func (k *Kernel) phaseKinds(n int) []PhaseKind {
 func (k *Kernel) TimedMulVec(x, y []float64) PhaseTimes {
 	k.checkDims(x, y)
 	k.curX, k.curY = x, y
-	pt := k.timedRun(k.phasesPlain, k.namesPlain(), phaseObs[k.Method])
+	pt := k.timedRun(k.phasesPlain, k.phaseKinds(len(k.phasesPlain)), k.namesPlain(), phaseObs[k.Method], true)
 	k.curX, k.curY = nil, nil
 	return pt
 }
@@ -95,22 +124,25 @@ func (k *Kernel) TimedMulMat(x, y []float64, nv int) (PhaseTimes, error) {
 		k.assembleMat(nv)
 	}
 	k.curX, k.curY = x, y
-	pt := k.timedRun(k.phasesMat, k.namesMat(), spmmObs[k.Method])
+	pt := k.timedRun(k.phasesMat, k.phaseKindsMat(len(k.phasesMat)), k.namesMat(), spmmObs[k.Method], false)
 	k.curX, k.curY = nil, nil
 	return pt, nil
 }
 
 // timedRun executes one prebuilt phase list with per-worker timing, feeds
-// the obs layer (mo's metrics always, trace spans when tracing is enabled),
-// and returns the single-operation breakdown.
-func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID, mo *methodObs) PhaseTimes {
+// the obs layer (mo's metrics always, trace spans when tracing is enabled,
+// and — for hierarchical SpMV lists when domHist is set — the per-domain
+// phase histograms), and returns the single-operation breakdown. Barrier
+// scopes are preserved, so the timed run synchronizes exactly like the
+// untimed one.
+func (k *Kernel) timedRun(list []parallel.Phase, kinds []PhaseKind, names []obs.NameID, mo *methodObs, domHist bool) PhaseTimes {
 	nph := len(list)
 	durs := make([]int64, nph*k.p)
-	wrapped := make([]func(int), nph)
+	wrapped := make([]parallel.Phase, nph)
 	tracing := obs.TracingEnabled()
-	for pi, ph := range list {
-		pi, ph := pi, ph
-		wrapped[pi] = func(tid int) {
+	for pi := range list {
+		pi, ph := pi, list[pi].Fn
+		wrapped[pi] = parallel.Phase{Scope: list[pi].Scope, Fn: func(tid int) {
 			t0 := obs.Now()
 			ph(tid)
 			t1 := obs.Now()
@@ -118,13 +150,12 @@ func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID, mo *methodOb
 			if tracing {
 				obs.TraceSpan(tid, names[pi], t0, t1)
 			}
-		}
+		}}
 	}
 	t0 := obs.Now()
-	k.pool.RunPhases(wrapped...)
+	k.pool.RunPhaseList(wrapped)
 	wall := time.Duration(obs.Now() - t0)
 
-	kinds := k.phaseKinds(nph)
 	pt := PhaseTimes{Wall: wall, Phases: nph, Ops: 1}
 	for pi := 0; pi < nph; pi++ {
 		crit := int64(0)
@@ -143,6 +174,45 @@ func (k *Kernel) timedRun(list []func(tid int), names []obs.NameID, mo *methodOb
 	if worked := pt.Compute + pt.Reduction; wall > worked {
 		pt.Barrier = wall - worked
 	}
+	if domHist && k.hier != nil {
+		k.observeDomains(durs, nph)
+	}
 	mo.observe(pt)
 	return pt
+}
+
+// observeDomains feeds the per-domain critical-path times of the multiply,
+// intra-combine and cross-fold phases into the domain histograms. Phase
+// indices follow assembleHier's layout: an optional hub prefill (folded into
+// the multiply bucket), multiply, intra, cross/apply; a trailing Indexed dot
+// sweep is not domain-structured and is skipped.
+func (k *Kernel) observeDomains(durs []int64, nph int) {
+	h := k.hier
+	first := 0
+	if k.hubPlan != nil {
+		first = 1
+	}
+	for dd := 0; dd < h.d; dd++ {
+		wlo, whi := h.domWlo[dd], h.domWhi[dd]
+		crit := func(pi int) int64 {
+			m := int64(0)
+			for tid := wlo; tid < whi; tid++ {
+				if d := durs[pi*k.p+tid]; d > m {
+					m = d
+				}
+			}
+			return m
+		}
+		mult := crit(first)
+		if first > 0 {
+			mult += crit(0) // prefill rides in the multiply bucket
+		}
+		h.domHist[dd][0].Observe(float64(mult) / 1e9)
+		if first+1 < nph {
+			h.domHist[dd][1].Observe(float64(crit(first+1)) / 1e9)
+		}
+		if first+2 < nph {
+			h.domHist[dd][2].Observe(float64(crit(first+2)) / 1e9)
+		}
+	}
 }

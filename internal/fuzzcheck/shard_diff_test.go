@@ -1,0 +1,66 @@
+package fuzzcheck
+
+import (
+	"math"
+	"testing"
+
+	symspmv "repro"
+)
+
+// shardTopologies are the synthetic NUMA shapes the differential suite runs
+// under: flat, two-domain, and four-domain pools. Domain counts beyond the
+// worker count are clamped by the pool, so small thread counts double as the
+// p < domains edge case.
+var shardTopologies = []int{1, 2, 4}
+
+// sssFormats are the symmetric formats whose reduction path is affected by
+// domain sharding: the local-vector methods gain the hierarchical two-level
+// schedule, Atomic and Colored run flat on the sharded pool — every one must
+// stay within the differential tolerance regardless of topology.
+var sssFormats = []symspmv.Format{
+	symspmv.SSSNaive, symspmv.SSSEffective, symspmv.SSSIndexed,
+	symspmv.SSSAtomic, symspmv.SSSColored,
+}
+
+// TestShardedTopologies is the domain-sharded counterpart of the
+// differential tentpole: every adversarial case × every SSS reduction
+// method × synthetic topologies of 1, 2 and 4 domains (with one and two
+// workers per domain) must agree with the serial dense reference to
+// |y_i − ref_i| ≤ 1e-12·Σ_j|A_ij·x_j|. The hierarchical schedule regroups
+// the reduction's float additions, so this is exactly the bound it promises;
+// on one domain it never engages and the flat path is exercised unchanged.
+func TestShardedTopologies(t *testing.T) {
+	for _, tc := range AdversarialSuite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			a := buildMatrix(t, tc.M)
+			n := tc.M.Rows
+			x := TestX(n, int64(n)+11)
+			ref, scale := Reference(tc.M, x)
+			for _, d := range shardTopologies {
+				for _, p := range []int{d, 2 * d} {
+					for _, f := range sssFormats {
+						k, err := a.Kernel(f, symspmv.Threads(p), symspmv.Domains(d))
+						if err != nil {
+							t.Errorf("%v p=%d d=%d: Kernel: %v", f, p, d, err)
+							continue
+						}
+						y := make([]float64, n)
+						for rep := 0; rep < 2; rep++ {
+							for i := range y {
+								y[i] = math.NaN()
+							}
+							k.MulVec(x, y)
+							if err := Compare(y, ref, scale, Tol); err != nil {
+								t.Errorf("%v p=%d d=%d rep=%d: %v", f, p, d, rep, err)
+								break
+							}
+						}
+						k.Close()
+					}
+				}
+			}
+		})
+	}
+}

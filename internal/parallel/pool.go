@@ -50,20 +50,59 @@ const (
 	PhaseChannel
 )
 
+// PhaseScope selects which workers a phase boundary synchronizes in a
+// RunPhaseList chain.
+type PhaseScope uint8
+
+const (
+	// PhaseGlobal closes the phase with the whole-pool barrier: every worker
+	// sees every other worker's writes before the next phase starts. The
+	// zero value, and the semantics of every RunPhases boundary.
+	PhaseGlobal PhaseScope = iota
+	// PhaseLocal closes the phase with the worker's domain barrier only:
+	// workers of one domain synchronize among themselves and proceed without
+	// waiting for other domains. Correct only when the next phase reads
+	// nothing written by another domain in this phase. On a single-domain
+	// pool the domain barrier is the global barrier, so PhaseLocal degrades
+	// to PhaseGlobal exactly.
+	PhaseLocal
+)
+
+// Phase pairs a phase body with the scope of the barrier separating it from
+// the next phase (the scope of the final phase is irrelevant — completion is
+// signalled through the pool's WaitGroup either way).
+type Phase struct {
+	Fn    func(tid int)
+	Scope PhaseScope
+}
+
 // Pool is a fixed-size set of persistent workers. A Pool must be created with
 // NewPool and released with Close.
 //
+// Workers are grouped into domains (NewPoolDomains): contiguous worker
+// ranges, one per NUMA domain, each with its own sense-reversing barrier so
+// a PhaseLocal boundary costs an intra-domain round instead of a machine-wide
+// one. NewPool creates the degenerate single-domain pool.
+//
 // Ownership: a Pool is owned by a single coordinating goroutine. Run,
-// RunChunked, RunPhases and Close must all be issued from that goroutine (or
-// otherwise serialized by the caller); the Pool detects misuse — Run after
-// Close, Close during a Run, overlapping Runs — and panics deterministically
-// instead of racing.
+// RunChunked, RunPhases, RunPhaseList and Close must all be issued from that
+// goroutine (or otherwise serialized by the caller); the Pool detects misuse
+// — Run after Close, Close during a Run, overlapping Runs — and panics
+// deterministically instead of racing.
 type Pool struct {
 	n       int
 	work    []chan func(tid int)
 	wg      sync.WaitGroup
 	barrier *SpinBarrier
 	mode    PhaseMode
+
+	// Domain structure: workers [domLo[d], domLo[d+1]) belong to domain d and
+	// share domBar[d]. For a single-domain pool domBar[0] is the global
+	// barrier itself.
+	domains int
+	domOf   []int32
+	domBar  []*SpinBarrier
+	domLo   []int
 
 	closed   atomic.Bool
 	busy     atomic.Bool
@@ -72,20 +111,56 @@ type Pool struct {
 	// phaseList/runner implement the resident RunPhases path without
 	// allocating: runner is built once in NewPool and iterates phaseList,
 	// which RunPhases sets before the dispatch (the channel sends publish it
-	// to the workers) and clears after.
-	phaseList []func(tid int)
-	runner    func(tid int)
+	// to the workers) and clears after. scopedList/scopedRunner are the
+	// RunPhaseList counterparts, separating phases with the barrier named by
+	// each phase's scope.
+	phaseList    []func(tid int)
+	runner       func(tid int)
+	scopedList   []Phase
+	scopedRunner func(tid int)
 }
 
-// NewPool starts n persistent workers. n must be positive.
+// NewPool starts n persistent workers in a single domain. n must be positive.
 func NewPool(n int) *Pool {
+	return NewPoolDomains(n, 1)
+}
+
+// NewPoolDomains starts n persistent workers grouped into domains contiguous
+// sub-pools (worker tid belongs to domain Chunk-style: earlier domains get
+// the remainder workers, matching partition.ByNNZDomains' worker counts).
+// domains is clamped to [1, n] so every domain owns at least one worker; a
+// single domain reproduces NewPool exactly.
+func NewPoolDomains(n, domains int) *Pool {
 	if n <= 0 {
-		panic(fmt.Sprintf("parallel: NewPool(%d): size must be positive", n))
+		panic(fmt.Sprintf("parallel: NewPoolDomains(%d, %d): size must be positive", n, domains))
+	}
+	if domains < 1 {
+		domains = 1
+	}
+	if domains > n {
+		domains = n
 	}
 	p := &Pool{
 		n:       n,
 		work:    make([]chan func(tid int), n),
 		barrier: NewSpinBarrier(n),
+		domains: domains,
+		domOf:   make([]int32, n),
+		domBar:  make([]*SpinBarrier, domains),
+		domLo:   make([]int, domains+1),
+	}
+	for d := 0; d < domains; d++ {
+		lo, hi := Chunk(n, domains, d)
+		p.domLo[d] = lo
+		p.domLo[d+1] = hi
+		for t := lo; t < hi; t++ {
+			p.domOf[t] = int32(d)
+		}
+		if domains == 1 {
+			p.domBar[d] = p.barrier
+		} else {
+			p.domBar[d] = NewSpinBarrier(hi - lo)
+		}
 	}
 	p.runner = func(tid int) {
 		phases := p.phaseList
@@ -94,6 +169,21 @@ func NewPool(n int) *Pool {
 			ph(tid)
 			if i < last {
 				p.barrier.Wait()
+			}
+		}
+	}
+	p.scopedRunner = func(tid int) {
+		phases := p.scopedList
+		bar := p.domBar[p.domOf[tid]]
+		last := len(phases) - 1
+		for i := range phases {
+			phases[i].Fn(tid)
+			if i < last {
+				if phases[i].Scope == PhaseLocal {
+					bar.Wait()
+				} else {
+					p.barrier.Wait()
+				}
 			}
 		}
 	}
@@ -113,6 +203,17 @@ func (p *Pool) worker(tid int) {
 
 // Size reports the number of workers.
 func (p *Pool) Size() int { return p.n }
+
+// Domains reports the number of worker domains (1 for NewPool pools).
+func (p *Pool) Domains() int { return p.domains }
+
+// DomainOf reports the domain worker tid belongs to.
+func (p *Pool) DomainOf(tid int) int { return int(p.domOf[tid]) }
+
+// DomainWorkers reports the contiguous worker range [lo, hi) of domain d.
+func (p *Pool) DomainWorkers(d int) (lo, hi int) {
+	return p.domLo[d], p.domLo[d+1]
+}
 
 // SetPhaseMode overrides how RunPhases separates phases (default PhaseAuto).
 // Like every other Pool method it must be called by the owning goroutine.
@@ -191,6 +292,41 @@ func (p *Pool) RunPhases(phases ...func(tid int)) {
 	p.phaseList = phases
 	p.dispatch(p.runner)
 	p.phaseList = nil
+}
+
+// RunPhaseList is RunPhases with per-phase barrier scopes: a PhaseGlobal
+// boundary synchronizes the whole pool, a PhaseLocal boundary only the
+// worker's domain — the two-level structure the hierarchical reduction
+// runs on. On the resident path the whole chain still costs one coordinator
+// handoff; the channel-fallback path dispatches each phase globally, which
+// over-synchronizes local boundaries but never under-synchronizes, so it
+// stays correct at any GOMAXPROCS.
+func (p *Pool) RunPhaseList(phases []Phase) {
+	if len(phases) == 0 {
+		return
+	}
+	p.begin("RunPhaseList")
+	defer p.end()
+	if len(phases) == 1 {
+		p.dispatch(phases[0].Fn)
+		return
+	}
+	resident := true
+	switch p.mode {
+	case PhaseAuto:
+		resident = p.n <= runtime.GOMAXPROCS(0)
+	case PhaseChannel:
+		resident = false
+	}
+	if !resident {
+		for i := range phases {
+			p.dispatch(phases[i].Fn)
+		}
+		return
+	}
+	p.scopedList = phases
+	p.dispatch(p.scopedRunner)
+	p.scopedList = nil
 }
 
 // RunChunked partitions [0, n) into Size() nearly equal contiguous chunks and

@@ -356,3 +356,38 @@ func TestRunChunkedEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// TestNewPoolDomainsClamps pins the domain-count clamp: fewer workers than
+// requested domains collapses to one domain per worker, and a non-positive
+// request collapses to a single (flat) domain, so every domain barrier has
+// at least one participant.
+func TestNewPoolDomainsClamps(t *testing.T) {
+	for _, tc := range []struct{ n, req, want int }{
+		{2, 4, 2},  // p < domains
+		{3, 0, 1},  // zero request
+		{3, -2, 1}, // negative request
+		{4, 4, 4},  // one worker per domain
+	} {
+		pool := NewPoolDomains(tc.n, tc.req)
+		if got := pool.Domains(); got != tc.want {
+			t.Errorf("NewPoolDomains(%d, %d).Domains() = %d, want %d", tc.n, tc.req, got, tc.want)
+		}
+		covered := 0
+		for d := 0; d < pool.Domains(); d++ {
+			lo, hi := pool.DomainWorkers(d)
+			if hi <= lo {
+				t.Errorf("NewPoolDomains(%d, %d): domain %d empty [%d,%d)", tc.n, tc.req, d, lo, hi)
+			}
+			for tid := lo; tid < hi; tid++ {
+				if pool.DomainOf(tid) != d {
+					t.Errorf("DomainOf(%d) = %d, want %d", tid, pool.DomainOf(tid), d)
+				}
+			}
+			covered += hi - lo
+		}
+		if covered != tc.n {
+			t.Errorf("NewPoolDomains(%d, %d): domains cover %d workers, want %d", tc.n, tc.req, covered, tc.n)
+		}
+		pool.Close()
+	}
+}

@@ -35,6 +35,12 @@ type Platform struct {
 	// saturated bandwidth of one socket (GB/s). Table II's "sustained B/W"
 	// is Sockets·BWSocket.
 	BW1, BWSocket float64
+	// BWCross is the sustained cross-domain interconnect bandwidth (GB/s)
+	// available to reduction traffic whose producer and consumer sit in
+	// different NUMA domains (QPI on Gainestown). Zero means "no separate
+	// interconnect ceiling" and falls back to BWSocket — correct for
+	// single-domain machines, where nothing crosses anyway.
+	BWCross float64
 	// BarrierBaseNs and BarrierPerThreadNs model the synchronization cost
 	// of one parallel phase barrier.
 	BarrierBaseNs, BarrierPerThreadNs float64
@@ -104,6 +110,7 @@ var Gainestown = Platform{
 	F1:                   1.60,
 	BW1:                  5.5,
 	BWSocket:             15.5,
+	BWCross:              11.0, // one QPI link's sustained data bandwidth
 	BarrierBaseNs:        1500,
 	BarrierPerThreadNs:   120,
 	LLCBytes:             2 * 8 << 20,
@@ -156,6 +163,35 @@ func (pl Platform) PhaseSeconds(p int, flops, bytes int64) float64 {
 	t := tFlop
 	if tMem > t {
 		t = tMem
+	}
+	return t + pl.BarrierSeconds(p)
+}
+
+// CrossBandwidth reports the sustained cross-domain bandwidth (GB/s): BWCross
+// when set, otherwise one socket's bandwidth (the remote stream still has to
+// pass through a controller).
+func (pl Platform) CrossBandwidth() float64 {
+	if pl.BWCross > 0 {
+		return pl.BWCross
+	}
+	return pl.BWSocket
+}
+
+// PhaseSecondsCross is PhaseSeconds with a third roofline term: crossBytes of
+// the phase's traffic must additionally pass the cross-domain interconnect,
+// whose ceiling is CrossBandwidth regardless of thread count. On machines
+// with one domain, or phases that cross nothing, it reduces to PhaseSeconds.
+func (pl Platform) PhaseSecondsCross(p int, flops, bytes, crossBytes int64) float64 {
+	tFlop := float64(flops) / (float64(pl.effectiveCores(p)) * pl.F1 * 1e9)
+	tMem := float64(bytes) / (pl.Bandwidth(p) * 1e9)
+	t := tFlop
+	if tMem > t {
+		t = tMem
+	}
+	if crossBytes > 0 && pl.Sockets > 1 {
+		if tX := float64(crossBytes) / (pl.CrossBandwidth() * 1e9); tX > t {
+			t = tX
+		}
 	}
 	return t + pl.BarrierSeconds(p)
 }

@@ -26,6 +26,12 @@ type SpMVCost struct {
 	RedBytes    int64
 	UsefulFlops int64 // 2·NNZ_logical, the numerator of the Gflop/s metric
 
+	// RedCrossBytes is the share of RedBytes crossing a NUMA domain boundary
+	// (core.Traffic.RedCrossBytes); priced against the platform's
+	// cross-domain interconnect bandwidth as an extra roofline term of the
+	// reduction phase. Zero for single-domain kernels.
+	RedCrossBytes int64
+
 	// MatrixBytes is the matrix-stream portion of MultBytes — the part a
 	// multi-RHS (SpMM) sweep does NOT scale with the vector count. The
 	// remainder (MultBytes − MatrixBytes) is vector traffic, which does.
@@ -61,9 +67,7 @@ func (c SpMVCost) xExtraBytes(pl Platform) int64 {
 // plus (when present) the reduction phase, each ending in a barrier.
 func (c SpMVCost) Seconds(pl Platform, p int) float64 {
 	t := c.MultSeconds(pl, p)
-	if c.RedBytes > 0 || c.RedFlops > 0 {
-		t += pl.PhaseSeconds(p, c.RedFlops, c.RedBytes)
-	}
+	t += c.RedSeconds(pl, p)
 	t += float64(c.ExtraBarriers) * pl.BarrierSeconds(p)
 	return t
 }
@@ -78,12 +82,13 @@ func (c SpMVCost) MultSeconds(pl Platform, p int) float64 {
 	return t
 }
 
-// RedSeconds predicts the reduction phase alone.
+// RedSeconds predicts the reduction phase alone, including the cross-domain
+// interconnect ceiling on the RedCrossBytes share of its stream.
 func (c SpMVCost) RedSeconds(pl Platform, p int) float64 {
 	if c.RedBytes == 0 && c.RedFlops == 0 {
 		return 0
 	}
-	return pl.PhaseSeconds(p, c.RedFlops, c.RedBytes)
+	return pl.PhaseSecondsCross(p, c.RedFlops, c.RedBytes, c.RedCrossBytes)
 }
 
 // SerialSeconds predicts the single-thread kernel (no barriers, both phases
@@ -118,6 +123,7 @@ func (c SpMVCost) SpMM(nv int) SpMVCost {
 	out.MultBytes = c.MatrixBytes + (c.MultBytes-c.MatrixBytes)*m
 	out.RedFlops = c.RedFlops * m
 	out.RedBytes = c.RedBytes * m
+	out.RedCrossBytes = c.RedCrossBytes * m
 	out.UsefulFlops = c.UsefulFlops * m
 	out.XSpanBytes = c.XSpanBytes * m
 	out.AtomicOps = c.AtomicOps * m
@@ -275,6 +281,7 @@ func SSSCost(k *core.Kernel) SpMVCost {
 		MatrixBytes:   t.MultMatrixBytes,
 		RedFlops:      t.RedFlops,
 		RedBytes:      t.RedBytes,
+		RedCrossBytes: t.RedCrossBytes,
 		UsefulFlops:   t.MultFlops,
 		XAccesses:     acc,
 		XSpanBytes:    span,

@@ -1,0 +1,84 @@
+// Package topo detects the machine's NUMA topology — the number of memory
+// domains the execution engine shards work across.
+//
+// Detection reads the Linux sysfs tree (/sys/devices/system/node): one
+// "nodeN" directory per online NUMA node. On machines without the tree
+// (non-Linux, containers with masked sysfs) detection deterministically
+// falls back to a single domain, which collapses every domain-aware code
+// path to the existing flat behaviour. Tests and pinned runs inject
+// synthetic topologies with Override or point DetectDir at a fabricated
+// tree; they never need a real multi-socket host.
+package topo
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// nodeDir is the sysfs directory enumerating NUMA nodes.
+const nodeDir = "/sys/devices/system/node"
+
+var (
+	mu         sync.Mutex
+	overridden int  // > 0: synthetic topology in force
+	detected   int  // cached sysfs answer
+	haveDetect bool // detected is valid
+)
+
+// Domains reports the number of NUMA domains: the Override value when a
+// synthetic topology is in force, otherwise the sysfs detection result
+// (cached after the first call), otherwise 1.
+func Domains() int {
+	mu.Lock()
+	defer mu.Unlock()
+	if overridden > 0 {
+		return overridden
+	}
+	if !haveDetect {
+		detected = DetectDir(nodeDir)
+		haveDetect = true
+	}
+	return detected
+}
+
+// Override forces Domains to report d — the synthetic-topology hook for
+// tests and for pinned runs on machines where sysfs lies (VMs, cgroup
+// carve-outs). d <= 0 removes the override and restores detection. The
+// previous override value is returned so tests can restore it.
+func Override(d int) (prev int) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev = overridden
+	if d <= 0 {
+		overridden = 0
+	} else {
+		overridden = d
+	}
+	return prev
+}
+
+// DetectDir counts the "nodeN" entries under dir, the sysfs NUMA node
+// enumeration. Any read error or an empty enumeration yields the
+// deterministic single-domain fallback.
+func DetectDir(dir string) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 1
+	}
+	count := 0
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		if _, err := strconv.Atoi(name[len("node"):]); err == nil {
+			count++
+		}
+	}
+	if count < 1 {
+		return 1
+	}
+	return count
+}

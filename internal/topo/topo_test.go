@@ -1,0 +1,49 @@
+package topo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDetectDirSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"node0", "node1", "node12", "cpumap", "nodelist", "nodeX"} {
+		if err := os.Mkdir(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := DetectDir(dir); got != 3 {
+		t.Fatalf("DetectDir = %d, want 3 (node0, node1, node12)", got)
+	}
+}
+
+func TestDetectDirFallback(t *testing.T) {
+	if got := DetectDir(filepath.Join(t.TempDir(), "missing")); got != 1 {
+		t.Fatalf("missing dir: DetectDir = %d, want 1", got)
+	}
+	if got := DetectDir(t.TempDir()); got != 1 {
+		t.Fatalf("empty dir: DetectDir = %d, want 1", got)
+	}
+}
+
+func TestOverride(t *testing.T) {
+	prev := Override(4)
+	defer Override(prev)
+	if got := Domains(); got != 4 {
+		t.Fatalf("Domains under Override(4) = %d", got)
+	}
+	Override(0)
+	if got := Domains(); got < 1 {
+		t.Fatalf("Domains after clearing override = %d, want >= 1", got)
+	}
+}
+
+func TestDomainsDeterministic(t *testing.T) {
+	prev := Override(0)
+	defer Override(prev)
+	a, b := Domains(), Domains()
+	if a != b || a < 1 {
+		t.Fatalf("Domains not deterministic or invalid: %d, %d", a, b)
+	}
+}

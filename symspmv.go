@@ -45,6 +45,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/reorder"
+	"repro/internal/topo"
 )
 
 // Format selects a storage format / kernel configuration.
@@ -261,6 +262,7 @@ type Option func(*kernelOpts)
 
 type kernelOpts struct {
 	threads int
+	domains int
 	csxOpts csx.Options
 	hub     bool
 	hubOpts hub.Options
@@ -269,6 +271,23 @@ type kernelOpts struct {
 // Threads sets the worker count (default: GOMAXPROCS).
 func Threads(n int) Option {
 	return func(o *kernelOpts) { o.threads = n }
+}
+
+// Domains shards the kernel's workers across n NUMA domains and, for the
+// local-vector SSS formats (SSSNaive, SSSEffective, SSSIndexed), switches the
+// reduction to the hierarchical two-level schedule: local vectors combine
+// inside each domain first, and only the shard-boundary overlap windows cross
+// domains. n = 0 detects the machine topology (/sys/devices/system/node;
+// single domain when undetectable); n = 1 forces the flat pool, bitwise
+// identical to not passing the option. Formats without a hierarchical path
+// accept the option and simply run flat on the domain-sharded pool.
+func Domains(n int) Option {
+	return func(o *kernelOpts) {
+		if n <= 0 {
+			n = topo.Domains()
+		}
+		o.domains = n
+	}
 }
 
 // CSXOptions overrides the CSX/CSX-Sym detection parameters.
@@ -342,7 +361,12 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 			return nil, fmt.Errorf("symspmv: HubCache is not supported by the %v format", f)
 		}
 	}
-	pool := parallel.NewPool(o.threads)
+	var pool *parallel.Pool
+	if o.domains > 1 {
+		pool = parallel.NewPoolDomains(o.threads, o.domains)
+	} else {
+		pool = parallel.NewPool(o.threads)
+	}
 	// Release the workers on every failed construction path — including
 	// panics out of the format builders — so an error can never leak the
 	// pool's goroutines.
@@ -392,6 +416,7 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 		}
 		k.bytes = a.sss.Bytes()
 		k.hub = kk.Hub() != nil
+		k.hier = kk.Hierarchical()
 	case CSXSym:
 		var smx *csx.SymMatrix
 		if hubPlan != nil {
@@ -433,6 +458,7 @@ type boundKernel struct {
 	sym    *csx.SymMatrix                       // set for plain CSXSym kernels (enables SaveKernel)
 	mulMat func(x, y []float64, vecs int) error // nil when the format has no SpMM kernel
 	hub    bool                                 // a hub plan engaged (HubCache + profitable analysis)
+	hier   bool                                 // the hierarchical two-level reduction engaged (Domains > 1)
 
 	// mu serializes every operation on the kernel. The underlying engines own
 	// per-call mutable state — operand slots the phase closures read, shared
@@ -491,6 +517,11 @@ func (k *boundKernel) acquire(op string) (release func(), err error) {
 // method lives on the concrete kernel so callers can type-assert when they
 // need to distinguish "requested" from "engaged".
 func (k *boundKernel) HubEnabled() bool { return k.hub }
+
+// HierarchicalEnabled reports whether the hierarchical two-level domain
+// reduction actually engaged: Domains(>1) was given AND the format has the
+// hierarchical path. Like HubEnabled, type-assert to reach it.
+func (k *boundKernel) HierarchicalEnabled() bool { return k.hier }
 
 // cgOp adapts a boundKernel to the cg operator interfaces. fusedCGOp
 // additionally advertises cg.MulVecDotter, so cg.Solve runs its two-handoff
