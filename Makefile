@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored race-shard vet bench bench-json bench-spmm bench-smoke ci tune-demo telemetry-smoke fuzz-smoke serve-smoke
+.PHONY: all build test race race-colored race-shard vet bench bench-json bench-spmm bench-smoke bench-diff ci tune-demo telemetry-smoke fuzz-smoke serve-smoke attrib-smoke
 
 all: build
 
@@ -75,6 +75,27 @@ fuzz-smoke:
 		$(GO) test -run '^$$' -fuzz "^$$t\$$" -fuzztime 10s ./internal/fuzzcheck/ || exit 1; \
 	done
 
+# attrib-smoke drives the roofline attribution engine end to end: a live
+# solve must expose physically plausible achieved-bandwidth fractions per
+# (method, phase) on /debug/attrib and /metrics, and a served solve must
+# carry its request id (inbound traceparent) and stage timings through the
+# structured request log.
+attrib-smoke:
+	./scripts/attrib_smoke.sh
+
+# bench-diff self-tests the benchmark regression sentinel against the
+# checked-in record: a record diffed against itself must be clean, and a
+# synthetically halved copy must make the sentinel exit non-zero. To gate a
+# real change: `make bench-json` on both revisions, then
+# `go run ./cmd/bench-diff OLD.json NEW.json`.
+bench-diff:
+	go run ./cmd/bench-diff BENCH_pr8.json BENCH_pr8.json >/dev/null
+	@tmp=$$(mktemp); jq '.records[].gflops_host *= 0.5' BENCH_pr8.json > $$tmp; \
+	if go run ./cmd/bench-diff BENCH_pr8.json $$tmp >/dev/null 2>/dev/null; then \
+		echo "bench-diff: FAIL: sentinel missed a 50% regression"; rm -f $$tmp; exit 1; \
+	fi; rm -f $$tmp
+	@echo "bench-diff: sentinel OK (clean self-diff, regression caught)"
+
 # serve-smoke drives symspmv-serve end to end: load a generated matrix, show
 # that concurrent solves coalesce into multi-RHS dispatches (batch-size
 # histogram >= 2 on /metrics) with every lane matching a scalar reference
@@ -90,7 +111,7 @@ serve-smoke:
 # the kind of code -race exists for), the telemetry smoke, the fuzz smoke
 # (differential checking plus a short run of each fuzz target), the SpMM
 # traffic-model smoke, and the serving-path smoke.
-ci: vet build race-colored race-shard race telemetry-smoke fuzz-smoke bench-smoke serve-smoke
+ci: vet build race-colored race-shard race telemetry-smoke fuzz-smoke bench-smoke serve-smoke attrib-smoke bench-diff
 
 # tune-demo runs the empirical autotuner on a small slice of the paper suite
 # and prints one decision table per matrix: every candidate plan with its

@@ -1,0 +1,48 @@
+// Command bench-diff is the benchmark regression sentinel: it compares two
+// machine-readable bench records (the BENCH_*.json documents the harness
+// bench-json experiment writes) joined on (matrix, method, threads) and
+// exits non-zero when any record's host Gflop/s dropped past the noise
+// threshold — or when a benchmark case silently vanished.
+//
+// Usage:
+//
+//	bench-diff OLD.json NEW.json
+//	bench-diff -threshold 0.05 BENCH_pr8.json BENCH_pr9.json
+//
+// Exit status: 0 clean, 1 regression (or missing case), 2 usage/read error.
+// A machine-signature mismatch between the records warns but does not fail:
+// cross-host comparisons are the caller's judgment call.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/buildinfo"
+	"repro/internal/harness"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", harness.DefaultDiffThreshold,
+		"relative Gflop/s drop that counts as a regression")
+	version := flag.Bool("version", false, "print version/provenance and exit")
+	flag.Parse()
+	if *version {
+		fmt.Print(buildinfo.Version("bench-diff"))
+		return
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench-diff [-threshold 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	d, err := harness.DiffBench(flag.Arg(0), flag.Arg(1), harness.DiffOptions{Threshold: *threshold})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(d.Report())
+	if d.Failed() {
+		os.Exit(1)
+	}
+}

@@ -176,6 +176,16 @@ func main() {
 	fmt.Printf("kernel: %v, %d threads, %d bytes, %s in %v\n",
 		k.Format(), k.Threads(), k.Bytes(), built, time.Since(t0).Round(time.Millisecond))
 
+	if obs.SamplingEnabled() {
+		// Roofline attribution: STREAM-calibrate now (kernel idle) and feed
+		// every sampled op into symspmv_attrib_* and /debug/attrib.
+		if bound, aerr := symspmv.EnableAttribution(k); aerr != nil {
+			log.Printf("warning: attribution: %v", aerr)
+		} else if bound {
+			fmt.Printf("attrib: roofline attribution on (/debug/attrib)\n")
+		}
+	}
+
 	n := A.N()
 	b := make([]float64, n)
 	if *rhsOnes {

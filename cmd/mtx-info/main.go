@@ -13,16 +13,22 @@ import (
 	"log"
 
 	symspmv "repro"
+	"repro/internal/attrib"
 	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/csr"
 	"repro/internal/csx"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+	"repro/internal/stream"
 )
 
 func main() {
 	formats := flag.Bool("formats", false, "encode all formats and report sizes")
 	threads := flag.Int("threads", 4, "worker threads for format encoding")
 	dump := flag.Int("dump", 0, "dump the first N CSX-Sym ctl units (teaching/debug aid)")
+	roofline := flag.Bool("roofline", false, "predict per-method traffic and roofline time against this machine's measured STREAM bandwidth (offline triage; no solve needed)")
 	version := flag.Bool("version", false, "print version/provenance and exit")
 	flag.Parse()
 	if *version {
@@ -30,7 +36,7 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		log.Fatal("usage: mtx-info [-formats] file.mtx ...")
+		log.Fatal("usage: mtx-info [-formats] [-roofline] file.mtx ...")
 	}
 	for _, path := range flag.Args() {
 		A, err := symspmv.ReadMatrixMarketFile(path)
@@ -44,21 +50,75 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if !*formats {
-			continue
+		if *formats {
+			for _, f := range []symspmv.Format{
+				symspmv.CSR, symspmv.CSX, symspmv.SSSIndexed, symspmv.CSXSym,
+			} {
+				k, err := A.Kernel(f, symspmv.Threads(*threads))
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-12s %12d bytes  C.R. %5.1f%%\n",
+					f, k.Bytes(), 100*(1-float64(k.Bytes())/float64(st.CSRBytes)))
+				k.Close()
+			}
 		}
-		for _, f := range []symspmv.Format{
-			symspmv.CSR, symspmv.CSX, symspmv.SSSIndexed, symspmv.CSXSym,
-		} {
-			k, err := A.Kernel(f, symspmv.Threads(*threads))
-			if err != nil {
+		if *roofline {
+			if err := rooflineTable(path, *threads); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  %-12s %12d bytes  C.R. %5.1f%%\n",
-				f, k.Bytes(), 100*(1-float64(k.Bytes())/float64(st.CSRBytes)))
-			k.Close()
 		}
 	}
+}
+
+// rooflineTable predicts, per kernel method, the traffic of one SpM×V and
+// the memory-roofline floor it implies on THIS machine: predicted bytes over
+// the measured STREAM triad bandwidth of a threads-wide pool. The same
+// numbers the live attribution engine uses as denominators, computed without
+// a solve — offline triage for "how fast could this matrix possibly go here,
+// and in which phase would the time sit".
+func rooflineTable(path string, threads int) error {
+	c, err := matrix.ReadMatrixMarketFile(path)
+	if err != nil {
+		return err
+	}
+	cl := c
+	if !cl.Symmetric {
+		if cl, err = cl.ToLowerSymmetric(); err != nil {
+			return err
+		}
+	}
+	s, err := core.FromCOO(cl)
+	if err != nil {
+		return err
+	}
+	pool := parallel.NewPool(threads)
+	defer pool.Close()
+	calib := attrib.Calibrate(pool)
+	bw := stream.GB(stream.TriadSum(calib)) // GB/s ≡ bytes/ns
+	fmt.Printf("  roofline: STREAM triad %.1f GB/s at %d threads\n", bw, threads)
+	fmt.Printf("  %-22s %12s %12s %12s %10s %10s\n",
+		"method", "mult bytes", "red bytes", "total", "floor µs", "≤ Gflop/s")
+
+	row := func(cost perfmodel.SpMVCost) {
+		total := cost.MultBytes + cost.RedBytes
+		us := float64(total) / bw / 1e3 // bytes / (bytes/ns) = ns
+		gf := 0.0
+		if us > 0 {
+			gf = float64(cost.UsefulFlops) / (us * 1e3)
+		}
+		fmt.Printf("  %-22s %12d %12d %12d %10.1f %10.2f\n",
+			cost.Name, cost.MultBytes, cost.RedBytes, total, us, gf)
+	}
+
+	row(perfmodel.CSRCost(csr.FromCOO(c)))
+	for _, m := range []core.ReductionMethod{
+		core.Naive, core.EffectiveRanges, core.Indexed, core.Atomic, core.Colored,
+	} {
+		k := core.NewKernel(s, m, pool)
+		row(perfmodel.SSSCost(k))
+	}
+	return nil
 }
 
 // dumpUnits re-reads the matrix at the internal level and prints the head

@@ -19,14 +19,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -40,11 +43,34 @@ func main() {
 	domains := flag.Int("domains", 0, "NUMA domains to shard kernel workers over: >1 enables the hierarchical two-level reduction on the SSS formats, 0 detects the machine topology, 1 forces flat execution")
 	tuneCache := flag.String("tune-cache", "", "tuning-cache directory for autotuned loads (default: the user cache dir; \"off\" disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	sample := flag.Bool("sample", true, "sample kernel operations: phase metrics and roofline attribution on /metrics and /debug/attrib")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the final spans here on drain (implies -sample)")
+	logJSON := flag.Bool("log-json", false, "emit per-request structured logs as JSON (default: logfmt-style text)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Print(buildinfo.Version("symspmv-serve"))
 		return
+	}
+
+	// Per-request structured logs (request id, stage timings) to stderr.
+	var lh slog.Handler
+	if *logJSON {
+		lh = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		lh = slog.NewTextHandler(os.Stderr, nil)
+	}
+	serve.SetLogger(slog.New(lh))
+
+	if *sample || *traceOut != "" {
+		obs.SetSampling(true)
+	}
+	if *traceOut != "" {
+		workers := *threads
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		obs.EnableTracing(workers, 1<<14)
 	}
 
 	reg := serve.NewRegistry(serve.Options{
@@ -87,5 +113,17 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	reg.Close()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Printf("trace-out: %v", err)
+		} else {
+			if err := obs.WriteTrace(f); err != nil {
+				log.Printf("trace-out: %v", err)
+			}
+			f.Close()
+			log.Printf("wrote trace to %s", *traceOut)
+		}
+	}
 	log.Printf("drained cleanly")
 }

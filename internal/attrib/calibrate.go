@@ -1,0 +1,55 @@
+package attrib
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/stream"
+)
+
+// Calibration knobs. The defaults size each STREAM array at 64 MB (three
+// arrays, 192 MB footprint) so the measurement streams from memory rather
+// than the last-level cache on any machine this runs on. Tests shrink them.
+var (
+	// CalibrationSize is the STREAM array length in float64 elements.
+	CalibrationSize = 8 << 20
+	// CalibrationReps is the STREAM repetition count (best rate wins).
+	CalibrationReps = 2
+)
+
+type calKey struct {
+	threads, domains int
+}
+
+var (
+	calMu    sync.Mutex
+	calCache = map[calKey][]stream.DomainResult{}
+)
+
+// Calibrate measures (or returns the memoized) per-domain STREAM bandwidth
+// for a pool's shape. Keyed by (threads, domains): on one machine every pool
+// of the same shape sees the same memory system, so a bind never re-runs the
+// ~hundred-millisecond measurement. Runs the pool, so call it only while no
+// kernel operation is in flight (Bind time, never from the sample hook).
+func Calibrate(pool *parallel.Pool) []stream.DomainResult {
+	key := calKey{threads: pool.Size(), domains: pool.Domains()}
+	calMu.Lock()
+	defer calMu.Unlock()
+	if rs, ok := calCache[key]; ok {
+		return rs
+	}
+	rs := stream.RunPerDomain(pool, CalibrationSize, CalibrationReps)
+	calCache[key] = rs
+	for _, r := range rs {
+		streamGauge(r.Domain).Set(stream.GB(r.Triad))
+	}
+	return rs
+}
+
+func streamGauge(domain int) *obs.Gauge {
+	return obs.NewGauge("symspmv_attrib_stream_gbps",
+		"Measured STREAM triad bandwidth of one memory domain's worker group (GB/s), the roofline denominator.",
+		"domain", strconv.Itoa(domain))
+}

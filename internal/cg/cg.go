@@ -29,9 +29,11 @@ var (
 	cgResidual = obs.NewGauge("symspmv_cg_residual",
 		"Relative residual after the most recent sampled CG iteration.")
 
-	cgNameIter = obs.RegisterName("cg/iteration")
-	cgNameSpMV = obs.RegisterName("cg/spmv")
-	cgNameVec  = obs.RegisterName("cg/vector")
+	cgNameIter  = obs.RegisterName("cg/iteration")
+	cgNameSpMV  = obs.RegisterName("cg/spmv")
+	cgNameVec   = obs.RegisterName("cg/vector")
+	cgNameSolve = obs.RegisterName("cg/solve")
+	cgArgIters  = obs.RegisterName("iterations")
 )
 
 // MulVecer is the SpM×V interface CG consumes: every storage format in the
@@ -149,6 +151,7 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) (Resul
 
 	var res Result
 	start := time.Now()
+	solveStart := obs.Now()
 	mark := func(d *time.Duration, t0 time.Time) { *d += time.Since(t0) }
 	finish := func(rr, normB float64, err error) (Result, error) {
 		if err == nil && rr <= (opts.Tol*normB)*(opts.Tol*normB) {
@@ -156,6 +159,12 @@ func Solve(a MulVecer, pool *parallel.Pool, b, x []float64, opts Options) (Resul
 		}
 		res.Residual = math.Sqrt(math.Max(rr, 0)) / normB
 		res.TotalTime = time.Since(start)
+		if sampled && obs.TracingEnabled() {
+			// One whole-solve span grouping the iteration spans, annotated
+			// with the iteration count so perfetto can filter short solves.
+			obs.TraceSpanArg(obs.LaneCoordinator, cgNameSolve, solveStart, obs.Now(),
+				cgArgIters, int64(res.Iterations))
+		}
 		return res, err
 	}
 

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/parallel"
+)
+
+// The attribution feed hands every sampled operation's measured breakdown to
+// an external observer (internal/attrib) without core importing it — core is
+// below perfmodel in the import graph, and attrib needs both. The hook only
+// ever fires from timedRun, i.e. on the sampled path that already allocates;
+// the disabled-sampling MulVec path never reaches it, preserving the PR 4
+// zero-alloc contract with the hook installed.
+
+// OpClass says which kernel entry point produced a PhaseSample, because the
+// per-phase byte accounting differs: MulVecDot adds a fused (or trailing) dot
+// sweep, and SpMM amortizes the matrix stream over NV vectors.
+type OpClass int
+
+const (
+	OpSpMV OpClass = iota
+	OpSpMVDot
+	OpSpMM
+)
+
+// String implements fmt.Stringer.
+func (o OpClass) String() string {
+	switch o {
+	case OpSpMV:
+		return "spmv"
+	case OpSpMVDot:
+		return "spmv-dot"
+	case OpSpMM:
+		return "spmm"
+	default:
+		return "op?"
+	}
+}
+
+// PhaseSample is one sampled operation's measured breakdown, as fed to the
+// sample hook. DomComputeNs/DomReductionNs are per-domain critical-path times
+// (multiply incl. hub prefill; intra-combine + cross-fold) and are nil for
+// non-hierarchical kernels.
+type PhaseSample struct {
+	Method ReductionMethod
+	Op     OpClass
+	NV     int // vector count: 1 for SpMV, the MulMat width for SpMM
+	PT     PhaseTimes
+	// StartNs/EndNs bound the operation on the obs.Now clock, so the hook
+	// can annotate the same window the tracer's phase spans cover.
+	StartNs, EndNs int64
+	DomComputeNs   []int64
+	DomReductionNs []int64
+}
+
+// SampleHook observes sampled operations. It runs on the coordinating
+// goroutine at the end of timedRun, after the workers have parked — it may
+// allocate, but must not call back into the kernel.
+type SampleHook func(PhaseSample)
+
+// SetSampleHook installs fn as this kernel's attribution feed (nil removes
+// it). Not safe to call concurrently with operations on the kernel.
+func (k *Kernel) SetSampleHook(fn SampleHook) { k.sampleHook = fn }
+
+// Pool reports the worker pool this kernel is bound to.
+func (k *Kernel) Pool() *parallel.Pool { return k.pool }
+
+// DomainShares reports each domain's fraction of the matrix nnz (diagonal
+// included), the weight attribution uses to split predicted per-operation
+// bytes across domains. Nil for non-hierarchical kernels.
+func (k *Kernel) DomainShares() []float64 {
+	if k.hier == nil {
+		return nil
+	}
+	h := k.hier
+	shares := make([]float64, h.d)
+	total := 0.0
+	for dd := 0; dd < h.d; dd++ {
+		lo, hi := h.domPart.Start[dd], h.domPart.End[dd]
+		nnz := float64(k.S.RowPtr[hi]-k.S.RowPtr[lo]) + float64(hi-lo)
+		shares[dd] = nnz
+		total += nnz
+	}
+	if total <= 0 {
+		return shares
+	}
+	for dd := range shares {
+		shares[dd] /= total
+	}
+	return shares
+}
+
+// domainPhaseNs mirrors observeDomains' bucketing: per domain, the
+// critical-path multiply time (hub prefill folded in) and the summed
+// intra-combine + cross-fold time. A trailing Indexed dot sweep is not
+// domain-structured and is excluded, matching the histogram feed.
+func (k *Kernel) domainPhaseNs(durs []int64, nph int) (compute, reduction []int64) {
+	h := k.hier
+	first := 0
+	if k.hubPlan != nil {
+		first = 1
+	}
+	compute = make([]int64, h.d)
+	reduction = make([]int64, h.d)
+	for dd := 0; dd < h.d; dd++ {
+		wlo, whi := h.domWlo[dd], h.domWhi[dd]
+		crit := func(pi int) int64 {
+			m := int64(0)
+			for tid := wlo; tid < whi; tid++ {
+				if d := durs[pi*k.p+tid]; d > m {
+					m = d
+				}
+			}
+			return m
+		}
+		c := crit(first)
+		if first > 0 {
+			c += crit(0)
+		}
+		compute[dd] = c
+		if first+1 < nph {
+			reduction[dd] += crit(first + 1)
+		}
+		if first+2 < nph {
+			reduction[dd] += crit(first + 2)
+		}
+	}
+	return compute, reduction
+}

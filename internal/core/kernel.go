@@ -135,6 +135,10 @@ type Kernel struct {
 	traceNamesPlain []obs.NameID
 	traceNamesDot   []obs.NameID
 	traceNamesMat   []obs.NameID
+
+	// sampleHook, when set, receives every sampled operation's breakdown
+	// (attribfeed.go). Only the sampled timedRun path consults it.
+	sampleHook SampleHook
 }
 
 // KernelOptions carries the optional preprocessing products a Kernel can be
@@ -263,7 +267,7 @@ func (k *Kernel) MulVec(x, y []float64) {
 	k.checkDims(x, y)
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesPlain, k.phaseKinds(len(k.phasesPlain)), k.namesPlain(), phaseObs[k.Method], true)
+		k.timedRun(k.phasesPlain, k.phaseKinds(len(k.phasesPlain)), k.namesPlain(), phaseObs[k.Method], true, OpSpMV, 1)
 	} else {
 		k.pool.RunPhaseList(k.phasesPlain)
 	}
@@ -285,7 +289,7 @@ func (k *Kernel) MulVecDot(x, y []float64) float64 {
 	}
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesDot, k.phaseKinds(len(k.phasesDot)), k.namesDot(), phaseObs[k.Method], true)
+		k.timedRun(k.phasesDot, k.phaseKinds(len(k.phasesDot)), k.namesDot(), phaseObs[k.Method], true, OpSpMVDot, 1)
 	} else {
 		k.pool.RunPhaseList(k.phasesDot)
 	}

@@ -69,7 +69,7 @@ func (k *Kernel) MulMat(x, y []float64, nv int) error {
 	}
 	k.curX, k.curY = x, y
 	if obs.SamplingEnabled() {
-		k.timedRun(k.phasesMat, k.phaseKindsMat(len(k.phasesMat)), k.namesMat(), spmmObs[k.Method], false)
+		k.timedRun(k.phasesMat, k.phaseKindsMat(len(k.phasesMat)), k.namesMat(), spmmObs[k.Method], false, OpSpMM, nv)
 	} else {
 		k.pool.RunPhaseList(k.phasesMat)
 	}

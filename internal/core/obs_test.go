@@ -148,6 +148,96 @@ func TestMulVecZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestPhaseTimesPerOp(t *testing.T) {
+	acc := PhaseTimes{Compute: 400, Reduction: 80, Barrier: 40, Wall: 520, Phases: 3, Ops: 4}
+	per := acc.PerOp()
+	if per.Compute != 100 || per.Reduction != 20 || per.Barrier != 10 || per.Wall != 130 {
+		t.Fatalf("PerOp breakdown wrong: %+v", per)
+	}
+	if per.Ops != 1 || per.Phases != 3 {
+		t.Fatalf("PerOp Ops/Phases = %d/%d, want 1/3", per.Ops, per.Phases)
+	}
+	// Ops-less hand-built values pass through as a single op instead of
+	// dividing by zero — the averaging-without-Ops hazard the audit found.
+	raw := PhaseTimes{Wall: 77}
+	if per := raw.PerOp(); per.Wall != 77 || per.Ops != 1 {
+		t.Fatalf("PerOp on Ops=0 input = %+v, want unchanged with Ops=1", per)
+	}
+}
+
+// TestSampleHookDeliversPhaseSample: the attribution feed — every sampled op
+// hands the hook its method, op class, and the phase breakdown it observed.
+func TestSampleHookDeliversPhaseSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	m := randomSymmetric(t, rng, 1500, 5)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	x := make([]float64, s.N)
+	y := make([]float64, s.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	obs.SetSampling(true)
+	t.Cleanup(func() { obs.SetSampling(false) })
+
+	k := NewKernel(s, Indexed, pool)
+	var got []PhaseSample
+	k.SetSampleHook(func(ps PhaseSample) { got = append(got, ps) })
+	k.MulVec(x, y)
+	k.MulVecDot(x, y)
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(got))
+	}
+	for i, want := range []OpClass{OpSpMV, OpSpMVDot} {
+		ps := got[i]
+		if ps.Op != want || ps.Method != Indexed || ps.NV != 1 {
+			t.Fatalf("sample %d = {%v %v nv=%d}, want {%v indexed nv=1}", i, ps.Method, ps.Op, ps.NV, want)
+		}
+		if ps.PT.Ops != 1 || ps.PT.Wall <= 0 {
+			t.Fatalf("sample %d phase times implausible: %+v", i, ps.PT)
+		}
+		if ps.EndNs <= ps.StartNs {
+			t.Fatalf("sample %d span [%d, %d] not increasing", i, ps.StartNs, ps.EndNs)
+		}
+	}
+}
+
+// TestMulVecZeroAllocWithAttribHook: binding an attribution hook must not
+// cost the disabled-sampling hot path its zero-allocation contract — the
+// hook only fires on the sampled (timed) path.
+func TestMulVecZeroAllocWithAttribHook(t *testing.T) {
+	if obs.SamplingEnabled() {
+		t.Fatal("sampling unexpectedly enabled")
+	}
+	rng := rand.New(rand.NewSource(26))
+	m := randomSymmetric(t, rng, 1200, 4)
+	s, err := FromCOO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	x := make([]float64, s.N)
+	y := make([]float64, s.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	k := NewKernel(s, Indexed, pool)
+	fired := false
+	k.SetSampleHook(func(PhaseSample) { fired = true })
+	k.MulVec(x, y) // warm up
+	if a := testing.AllocsPerRun(20, func() { k.MulVec(x, y) }); a != 0 {
+		t.Errorf("MulVec with hook bound allocates %v allocs/op, want 0", a)
+	}
+	if fired {
+		t.Error("hook fired with sampling disabled")
+	}
+}
+
 // BenchmarkMulVecHotPath reports allocs/op for the disabled-sampling path —
 // the CI-visible form of the zero-allocation budget.
 func BenchmarkMulVecHotPath(b *testing.B) {

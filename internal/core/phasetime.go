@@ -50,6 +50,30 @@ func (t *PhaseTimes) Add(o PhaseTimes) {
 	t.Ops += ops
 }
 
+// PerOp returns the per-operation average of an accumulated breakdown: every
+// duration divided by Ops (a hand-built breakdown with Ops == 0 counts as
+// one), with Ops reset to 1. All consumers that report "time per operation"
+// must divide by Ops, not by an iteration count they happen to have on hand —
+// the two disagree as soon as a breakdown is accumulated with Add.
+func (t PhaseTimes) PerOp() PhaseTimes {
+	ops := t.Ops
+	if ops <= 1 {
+		if t.Ops == 0 {
+			t.Ops = 1
+		}
+		return t
+	}
+	d := time.Duration(ops)
+	return PhaseTimes{
+		Compute:   t.Compute / d,
+		Reduction: t.Reduction / d,
+		Barrier:   t.Barrier / d,
+		Wall:      t.Wall / d,
+		Phases:    t.Phases,
+		Ops:       1,
+	}
+}
+
 // phaseKinds labels an n-phase MulVec/MulVecDot list assembled by
 // assemble(). Every reduction method runs multiply→reduce (the Atomic
 // finalize pass counts as its reduction); a trailing fused-dot phase
@@ -105,7 +129,7 @@ func (k *Kernel) phaseKindsMat(n int) []PhaseKind {
 func (k *Kernel) TimedMulVec(x, y []float64) PhaseTimes {
 	k.checkDims(x, y)
 	k.curX, k.curY = x, y
-	pt := k.timedRun(k.phasesPlain, k.phaseKinds(len(k.phasesPlain)), k.namesPlain(), phaseObs[k.Method], true)
+	pt := k.timedRun(k.phasesPlain, k.phaseKinds(len(k.phasesPlain)), k.namesPlain(), phaseObs[k.Method], true, OpSpMV, 1)
 	k.curX, k.curY = nil, nil
 	return pt
 }
@@ -124,7 +148,7 @@ func (k *Kernel) TimedMulMat(x, y []float64, nv int) (PhaseTimes, error) {
 		k.assembleMat(nv)
 	}
 	k.curX, k.curY = x, y
-	pt := k.timedRun(k.phasesMat, k.phaseKindsMat(len(k.phasesMat)), k.namesMat(), spmmObs[k.Method], false)
+	pt := k.timedRun(k.phasesMat, k.phaseKindsMat(len(k.phasesMat)), k.namesMat(), spmmObs[k.Method], false, OpSpMM, nv)
 	k.curX, k.curY = nil, nil
 	return pt, nil
 }
@@ -135,7 +159,7 @@ func (k *Kernel) TimedMulMat(x, y []float64, nv int) (PhaseTimes, error) {
 // phase histograms), and returns the single-operation breakdown. Barrier
 // scopes are preserved, so the timed run synchronizes exactly like the
 // untimed one.
-func (k *Kernel) timedRun(list []parallel.Phase, kinds []PhaseKind, names []obs.NameID, mo *methodObs, domHist bool) PhaseTimes {
+func (k *Kernel) timedRun(list []parallel.Phase, kinds []PhaseKind, names []obs.NameID, mo *methodObs, domHist bool, op OpClass, nv int) PhaseTimes {
 	nph := len(list)
 	durs := make([]int64, nph*k.p)
 	wrapped := make([]parallel.Phase, nph)
@@ -178,6 +202,14 @@ func (k *Kernel) timedRun(list []parallel.Phase, kinds []PhaseKind, names []obs.
 		k.observeDomains(durs, nph)
 	}
 	mo.observe(pt)
+	if k.sampleHook != nil {
+		s := PhaseSample{Method: k.Method, Op: op, NV: nv, PT: pt,
+			StartNs: t0, EndNs: t0 + int64(wall)}
+		if k.hier != nil {
+			s.DomComputeNs, s.DomReductionNs = k.domainPhaseNs(durs, nph)
+		}
+		k.sampleHook(s)
+	}
 	return pt
 }
 

@@ -1,0 +1,207 @@
+package harness
+
+// benchdiff is the regression sentinel over the machine-readable benchmark
+// records: it joins two BENCH_*.json documents on (matrix, method, threads)
+// and flags every record whose host Gflop/s dropped by more than a noise
+// threshold. CI runs it against the archived record of the previous PR, so a
+// kernel regression fails the build instead of hiding inside run-to-run
+// noise.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/buildinfo"
+)
+
+// DiffOptions tunes the sentinel.
+type DiffOptions struct {
+	// Threshold is the relative Gflop/s drop that counts as a regression:
+	// new < old·(1-Threshold). 0 means the 10% default — wide enough for
+	// shared-runner noise at the bench experiment's iteration counts, narrow
+	// enough to catch a lost fast path.
+	Threshold float64
+}
+
+// DefaultDiffThreshold is the noise allowance used when DiffOptions leaves
+// Threshold zero.
+const DefaultDiffThreshold = 0.10
+
+// DiffEntry is one joined (matrix, method, threads) record.
+type DiffEntry struct {
+	Matrix  string
+	Method  string
+	Threads int
+
+	OldGflops float64
+	NewGflops float64
+	// Delta is the relative change (new-old)/old; negative means slower.
+	Delta float64
+	// Regressed marks entries past the threshold.
+	Regressed bool
+}
+
+// DiffResult is the full join of two benchmark documents.
+type DiffResult struct {
+	OldPath, NewPath       string
+	OldCommit, NewCommit   string
+	OldMachine, NewMachine string
+
+	// MachineMismatch warns that the two records come from different hosts —
+	// the comparison still runs (the caller may know the hosts are twins) but
+	// absolute conclusions are suspect.
+	MachineMismatch bool
+
+	Entries []DiffEntry
+	// Missing lists keys present in the old record but absent from the new
+	// one — a silently dropped benchmark case is itself a regression signal.
+	Missing []string
+	// Added lists keys only the new record has (informational).
+	Added []string
+
+	Regressions int
+	Threshold   float64
+}
+
+type diffKey struct {
+	matrix, method string
+	threads        int
+}
+
+func (k diffKey) String() string {
+	return fmt.Sprintf("%s/%s/p=%d", k.matrix, k.method, k.threads)
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != buildinfo.BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, buildinfo.BenchSchema)
+	}
+	if len(doc.Records) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	return &doc, nil
+}
+
+// DiffBench joins the records of two bench-json documents and flags
+// regressions. It returns an error only for unreadable or malformed inputs;
+// regressions are reported in the result so the caller chooses the exit
+// policy.
+func DiffBench(oldPath, newPath string, opt DiffOptions) (*DiffResult, error) {
+	if opt.Threshold == 0 {
+		opt.Threshold = DefaultDiffThreshold
+	}
+	if opt.Threshold < 0 || opt.Threshold >= 1 {
+		return nil, fmt.Errorf("threshold %v out of range (0, 1)", opt.Threshold)
+	}
+	oldDoc, err := readBenchFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newDoc, err := readBenchFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+
+	oldBy := make(map[diffKey]benchRecord, len(oldDoc.Records))
+	for _, r := range oldDoc.Records {
+		oldBy[diffKey{r.Matrix, r.Method, r.Threads}] = r
+	}
+	res := &DiffResult{
+		OldPath: oldPath, NewPath: newPath,
+		OldCommit: oldDoc.GitCommit, NewCommit: newDoc.GitCommit,
+		OldMachine: oldDoc.Machine, NewMachine: newDoc.Machine,
+		MachineMismatch: oldDoc.Machine != newDoc.Machine,
+		Threshold:       opt.Threshold,
+	}
+	seen := make(map[diffKey]bool, len(newDoc.Records))
+	for _, nr := range newDoc.Records {
+		k := diffKey{nr.Matrix, nr.Method, nr.Threads}
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			res.Added = append(res.Added, k.String())
+			continue
+		}
+		e := DiffEntry{
+			Matrix: nr.Matrix, Method: nr.Method, Threads: nr.Threads,
+			OldGflops: or.GflopsHost, NewGflops: nr.GflopsHost,
+		}
+		if or.GflopsHost > 0 {
+			e.Delta = (nr.GflopsHost - or.GflopsHost) / or.GflopsHost
+			e.Regressed = nr.GflopsHost < or.GflopsHost*(1-opt.Threshold)
+		}
+		if e.Regressed {
+			res.Regressions++
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	for k := range oldBy {
+		if !seen[k] {
+			res.Missing = append(res.Missing, k.String())
+		}
+	}
+	sort.Strings(res.Missing)
+	sort.Strings(res.Added)
+	sort.Slice(res.Entries, func(i, j int) bool {
+		a, b := res.Entries[i], res.Entries[j]
+		if a.Matrix != b.Matrix {
+			return a.Matrix < b.Matrix
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.Threads < b.Threads
+	})
+	return res, nil
+}
+
+// Failed reports whether the diff should fail a CI gate: any entry past the
+// threshold, or any benchmark case that vanished from the new record.
+func (d *DiffResult) Failed() bool {
+	return d.Regressions > 0 || len(d.Missing) > 0
+}
+
+// Report renders the human-readable diff. Regressed rows are marked with
+// "REGRESSED"; improvements past the threshold get a quieter "improved".
+func (d *DiffResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench-diff: %s (%s) -> %s (%s), threshold %.0f%%\n",
+		d.OldPath, d.OldCommit, d.NewPath, d.NewCommit, 100*d.Threshold)
+	if d.MachineMismatch {
+		fmt.Fprintf(&b, "warning: machine mismatch\n  old: %s\n  new: %s\n",
+			d.OldMachine, d.NewMachine)
+	}
+	fmt.Fprintf(&b, "%-20s %-18s %3s %10s %10s %8s\n",
+		"matrix", "method", "p", "old Gf/s", "new Gf/s", "delta")
+	for _, e := range d.Entries {
+		mark := ""
+		switch {
+		case e.Regressed:
+			mark = "  REGRESSED"
+		case e.Delta > d.Threshold:
+			mark = "  improved"
+		}
+		fmt.Fprintf(&b, "%-20s %-18s %3d %10.3f %10.3f %+7.1f%%%s\n",
+			e.Matrix, e.Method, e.Threads, e.OldGflops, e.NewGflops, 100*e.Delta, mark)
+	}
+	for _, k := range d.Missing {
+		fmt.Fprintf(&b, "MISSING: %s (present in old record only)\n", k)
+	}
+	for _, k := range d.Added {
+		fmt.Fprintf(&b, "added:   %s (new record only)\n", k)
+	}
+	fmt.Fprintf(&b, "%d compared, %d regressed, %d missing, %d added\n",
+		len(d.Entries), d.Regressions, len(d.Missing), len(d.Added))
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/buildinfo"
+)
+
+func writeBench(t *testing.T, dir, name, machine string, recs []benchRecord) string {
+	t.Helper()
+	doc := benchFile{
+		Schema:    buildinfo.BenchSchema,
+		GitCommit: "deadbeef",
+		Machine:   machine,
+		Records:   recs,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffBench(t *testing.T) {
+	dir := t.TempDir()
+	oldRecs := []benchRecord{
+		{Matrix: "a", Method: "indexed", Threads: 2, GflopsHost: 1.0},
+		{Matrix: "a", Method: "colored", Threads: 2, GflopsHost: 2.0},
+		{Matrix: "b", Method: "indexed", Threads: 4, GflopsHost: 3.0},
+	}
+	oldPath := writeBench(t, dir, "old.json", "host-a", oldRecs)
+
+	t.Run("identical is clean", func(t *testing.T) {
+		d, err := DiffBench(oldPath, oldPath, DiffOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Failed() || d.Regressions != 0 || len(d.Entries) != 3 {
+			t.Fatalf("self-diff not clean: %+v", d)
+		}
+	})
+
+	t.Run("drop past threshold regresses", func(t *testing.T) {
+		newRecs := append([]benchRecord(nil), oldRecs...)
+		newRecs[1].GflopsHost = 1.0  // colored: -50%
+		newRecs[2].GflopsHost = 2.85 // indexed/b: -5%, inside the 10% allowance
+		newPath := writeBench(t, dir, "new.json", "host-a", newRecs)
+		d, err := DiffBench(oldPath, newPath, DiffOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Failed() || d.Regressions != 1 {
+			t.Fatalf("regressions = %d, want exactly 1: %s", d.Regressions, d.Report())
+		}
+		if !strings.Contains(d.Report(), "REGRESSED") {
+			t.Fatal("report does not mark the regressed row")
+		}
+	})
+
+	t.Run("missing case fails", func(t *testing.T) {
+		newPath := writeBench(t, dir, "missing.json", "host-a", oldRecs[:2])
+		d, err := DiffBench(oldPath, newPath, DiffOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Failed() || len(d.Missing) != 1 || d.Regressions != 0 {
+			t.Fatalf("missing = %v, regressions = %d; want 1 missing, 0 regressed", d.Missing, d.Regressions)
+		}
+	})
+
+	t.Run("machine mismatch warns but compares", func(t *testing.T) {
+		newPath := writeBench(t, dir, "otherhost.json", "host-b", oldRecs)
+		d, err := DiffBench(oldPath, newPath, DiffOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.MachineMismatch || d.Failed() {
+			t.Fatalf("mismatch=%v failed=%v, want warn-only", d.MachineMismatch, d.Failed())
+		}
+		if !strings.Contains(d.Report(), "machine mismatch") {
+			t.Fatal("report does not warn about the machine mismatch")
+		}
+	})
+
+	t.Run("wrong schema rejected", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte(`{"schema":"other/1","records":[{}]}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DiffBench(oldPath, bad, DiffOptions{}); err == nil {
+			t.Fatal("schema mismatch accepted")
+		}
+	})
+}

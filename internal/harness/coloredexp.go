@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/buildinfo"
@@ -98,8 +99,12 @@ func measurePhases(sm *SuiteMatrix, method core.ReductionMethod, pool *parallel.
 			renormalize(x)
 		}
 	}
+	// Per-op wall time through PerOp (ops counted by the instrumentation),
+	// not the iters argument: the two agree today, but a divergence (an op
+	// that bails before timing, a future multi-op Timed variant) must show up
+	// in the reported Gflop/s, not silently misscale it.
 	flops := perfmodel.SSSCost(k).UsefulFlops
-	gflops := perfmodel.Gflops(flops, pt.Wall.Seconds()/float64(iters))
+	gflops := perfmodel.Gflops(flops, pt.PerOp().Wall.Seconds())
 	return pt, gflops, k.Colors()
 }
 
@@ -118,20 +123,17 @@ func PhaseBreakdown(cfg Config, suite []*SuiteMatrix) *Table {
 	}
 	pool := parallel.NewPool(p)
 	defer pool.Close()
-	us := func(total int64, ops int) string {
-		if ops == 0 {
-			ops = 1
-		}
-		return fmt.Sprintf("%.1f", float64(total)/float64(ops)/1e3)
+	us := func(d time.Duration) string {
+		return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
 	}
 	for _, sm := range suite {
 		for _, m := range phaseMethods {
 			cfg.logf("phases/%s: %v", sm.Spec.Name, m)
 			pt, _, colors := measurePhases(sm, m, pool, cfg.Iterations)
+			per := pt.PerOp()
 			t.Rows = append(t.Rows, []string{
 				sm.Spec.Name, m.String(), fmt.Sprintf("%d", colors),
-				us(pt.Compute.Nanoseconds(), pt.Ops), us(pt.Reduction.Nanoseconds(), pt.Ops),
-				us(pt.Barrier.Nanoseconds(), pt.Ops), us(pt.Wall.Nanoseconds(), pt.Ops),
+				us(per.Compute), us(per.Reduction), us(per.Barrier), us(per.Wall),
 			})
 		}
 	}
@@ -214,27 +216,24 @@ func BenchJSON(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 			for _, m := range phaseMethods {
 				cfg.logf("bench-json/p=%d/%s: %v", p, sm.Spec.Name, m)
 				pt, gflops, colors := measurePhases(sm, m, pool, cfg.Iterations)
-				iters := int64(pt.Ops)
-				if iters == 0 {
-					iters = 1
-				}
+				per := pt.PerOp()
 				rec := benchRecord{
 					Matrix:      sm.Spec.Name,
 					Method:      m.String(),
 					Threads:     p,
 					GflopsHost:  gflops,
 					Colors:      colors,
-					ComputeNs:   pt.Compute.Nanoseconds() / iters,
-					ReductionNs: pt.Reduction.Nanoseconds() / iters,
-					BarrierNs:   pt.Barrier.Nanoseconds() / iters,
+					ComputeNs:   per.Compute.Nanoseconds(),
+					ReductionNs: per.Reduction.Nanoseconds(),
+					BarrierNs:   per.Barrier.Nanoseconds(),
 				}
 				doc.Records = append(doc.Records, rec)
-				wall := float64(pt.Wall.Nanoseconds())
+				wall := float64(per.Wall.Nanoseconds())
 				pct := func(ns int64) string {
 					if wall == 0 {
 						return "0"
 					}
-					return fmt.Sprintf("%.0f", 100*float64(ns*iters)/wall)
+					return fmt.Sprintf("%.0f", 100*float64(ns)/wall)
 				}
 				t.Rows = append(t.Rows, []string{
 					sm.Spec.Name, m.String(), fmt.Sprintf("%d", p),

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -36,8 +35,8 @@ func Sharded(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 		Header: []string{"Matrix", "D", "p", "Method", "FlatXBytes", "HierXBytes", "Saved", "ModelSpeedup"},
 	}
 	phaseTab := &Table{
-		Title: "Sharded — hierarchical phase breakdown (host-measured, D=2, p=4)",
-		Note:  "critical-path time per phase kind over the measurement iterations",
+		Title:  "Sharded — hierarchical phase breakdown (host-measured, D=2, p=4)",
+		Note:   "critical-path time per phase kind over the measurement iterations",
 		Header: []string{"Matrix", "Method", "Compute", "Reduction", "Barrier", "Phases"},
 	}
 	pl := perfmodel.Gainestown
@@ -83,18 +82,14 @@ func Sharded(cfg Config, suite []*SuiteMatrix) ([]*Table, error) {
 				})
 
 				if d == 2 {
-					pt := timedPhases(hier, sm.S.N, cfg.Iterations)
-					ops := time.Duration(pt.Ops)
-					if ops == 0 {
-						ops = 1
-					}
+					per := timedPhases(hier, sm.S.N, cfg.Iterations).PerOp()
 					phaseTab.Rows = append(phaseTab.Rows, []string{
 						sm.Spec.Name,
 						method.String(),
-						fmt.Sprintf("%v", pt.Compute/ops),
-						fmt.Sprintf("%v", pt.Reduction/ops),
-						fmt.Sprintf("%v", pt.Barrier/ops),
-						fmt.Sprintf("%d", pt.Phases),
+						fmt.Sprintf("%v", per.Compute),
+						fmt.Sprintf("%v", per.Reduction),
+						fmt.Sprintf("%v", per.Barrier),
+						fmt.Sprintf("%d", per.Phases),
 					})
 				}
 			}

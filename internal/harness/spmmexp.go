@@ -32,19 +32,19 @@ var spmmWidths = []int{2, 4, 8}
 // nv-wide sweep that merely matched nv back-to-back scalar sweeps would
 // score the same Gflop/s — any surplus is the bandwidth win.
 type spmmRecord struct {
-	Matrix        string  `json:"matrix"`
-	Config        string  `json:"config"`
-	NV            int     `json:"nv"`
-	Threads       int     `json:"threads"`
-	Hub           bool    `json:"hub"`
-	HubCols       int     `json:"hub_cols,omitempty"`
-	HubCoverage   float64 `json:"hub_coverage,omitempty"`
-	GflopsHost    float64 `json:"gflops_host"`
-	MatBytesFlop  float64 `json:"matrix_bytes_per_flop"`
-	ComputeNs     int64   `json:"compute_ns"`
-	ReductionNs   int64   `json:"reduction_ns"`
-	BarrierNs     int64   `json:"barrier_ns"`
-	WallNsPerVec  int64   `json:"wall_ns_per_vec"` // wall/op ÷ nv: cost of one logical SpM×V
+	Matrix       string  `json:"matrix"`
+	Config       string  `json:"config"`
+	NV           int     `json:"nv"`
+	Threads      int     `json:"threads"`
+	Hub          bool    `json:"hub"`
+	HubCols      int     `json:"hub_cols,omitempty"`
+	HubCoverage  float64 `json:"hub_coverage,omitempty"`
+	GflopsHost   float64 `json:"gflops_host"`
+	MatBytesFlop float64 `json:"matrix_bytes_per_flop"`
+	ComputeNs    int64   `json:"compute_ns"`
+	ReductionNs  int64   `json:"reduction_ns"`
+	BarrierNs    int64   `json:"barrier_ns"`
+	WallNsPerVec int64   `json:"wall_ns_per_vec"` // wall/op ÷ nv: cost of one logical SpM×V
 }
 
 // spmmFile is the top-level BENCH_pr6.json document.
@@ -163,8 +163,8 @@ func SpMMBench(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 		Threads:    threads,
 	}
 	t := &Table{
-		Title: fmt.Sprintf("spmm-bench — SSS-idx scalar vs blocked multi-RHS vs hub, record written to %s", path),
-		Note:  "Gflop/s counts useful flops over all vectors: nv scalar sweeps score the same as one scalar sweep",
+		Title:  fmt.Sprintf("spmm-bench — SSS-idx scalar vs blocked multi-RHS vs hub, record written to %s", path),
+		Note:   "Gflop/s counts useful flops over all vectors: nv scalar sweeps score the same as one scalar sweep",
 		Header: []string{"Matrix", "Config", "p", "Gflop/s", "matB/flop", "compute µs", "reduction µs", "wall µs/vec"},
 	}
 	for _, p := range threads {
@@ -187,23 +187,19 @@ func SpMMBench(cfg Config, suite []*SuiteMatrix) (*Table, error) {
 					cost = cost.WithHub(c.plan.Covered, c.plan.K(), p)
 				}
 				cost = cost.SpMM(c.nv)
-				iters := int64(pt.Ops)
-				if iters == 0 {
-					iters = 1
-				}
-				wallPerOp := pt.Wall.Nanoseconds() / iters
+				per := pt.PerOp()
 				rec := spmmRecord{
 					Matrix:       sm.Spec.Name,
 					Config:       c.name,
 					NV:           c.nv,
 					Threads:      p,
 					Hub:          c.plan != nil,
-					GflopsHost:   perfmodel.Gflops(cost.UsefulFlops, float64(wallPerOp)/1e9),
+					GflopsHost:   perfmodel.Gflops(cost.UsefulFlops, per.Wall.Seconds()),
 					MatBytesFlop: float64(cost.MatrixBytes) / float64(cost.UsefulFlops),
-					ComputeNs:    pt.Compute.Nanoseconds() / iters,
-					ReductionNs:  pt.Reduction.Nanoseconds() / iters,
-					BarrierNs:    pt.Barrier.Nanoseconds() / iters,
-					WallNsPerVec: wallPerOp / int64(c.nv),
+					ComputeNs:    per.Compute.Nanoseconds(),
+					ReductionNs:  per.Reduction.Nanoseconds(),
+					BarrierNs:    per.Barrier.Nanoseconds(),
+					WallNsPerVec: per.Wall.Nanoseconds() / int64(c.nv),
 				}
 				if c.plan != nil {
 					rec.HubCols = c.plan.K()

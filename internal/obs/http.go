@@ -18,6 +18,37 @@ type Server struct {
 
 var expvarOnce sync.Once
 
+// debugHandlers are extension endpoints mounted on every telemetry server
+// (and re-exported through DebugHandlers for other muxes, e.g. the serve
+// HTTP front end). Packages register their snapshot endpoints here —
+// internal/attrib mounts /debug/attrib — without obs importing them.
+var (
+	debugMu       sync.Mutex
+	debugHandlers = map[string]http.Handler{}
+)
+
+// HandleDebug registers an extension endpoint under pattern (e.g.
+// "/debug/attrib"). Call from package init or setup code, before StartServer;
+// later registrations only reach servers started afterwards. Re-registering a
+// pattern replaces the handler.
+func HandleDebug(pattern string, h http.Handler) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	debugHandlers[pattern] = h
+}
+
+// DebugHandlers snapshots the registered extension endpoints so other HTTP
+// layers can mount them alongside their own routes.
+func DebugHandlers() map[string]http.Handler {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	out := make(map[string]http.Handler, len(debugHandlers))
+	for p, h := range debugHandlers {
+		out[p] = h
+	}
+	return out
+}
+
 // StartServer begins serving the telemetry endpoint on addr (e.g.
 // "127.0.0.1:9464", or ":0" for an ephemeral port) in a background
 // goroutine. Close releases the listener.
@@ -33,6 +64,9 @@ func StartServer(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range DebugHandlers() {
+		mux.Handle(pattern, h)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

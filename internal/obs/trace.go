@@ -54,6 +54,12 @@ const LaneCoordinator = -1
 type span struct {
 	start, end int64
 	name       NameID
+	// argName/arg are an optional key/value annotation emitted into the
+	// Chrome trace event's args object (argName < 0 means none). One integer
+	// argument covers both uses so far: the request id grouping serve spans
+	// and the roofline percentage on attribution spans.
+	argName NameID
+	arg     int64
 }
 
 type lane struct {
@@ -94,6 +100,15 @@ func DisableTracing() { tracerPtr.Store(nil) }
 // LaneCoordinator). No-op when tracing is disabled or the lane is out of
 // range.
 func TraceSpan(laneIdx int, name NameID, startNs, endNs int64) {
+	TraceSpanArg(laneIdx, name, startNs, endNs, -1, 0)
+}
+
+// TraceSpanArg is TraceSpan with one integer annotation: the Chrome trace
+// event carries args{<argName>: arg}, which perfetto can group and filter on
+// (e.g. a per-request id threading serve stage spans together, or the
+// roofline percentage on an attribution span). argName < 0 records no
+// annotation.
+func TraceSpanArg(laneIdx int, name NameID, startNs, endNs int64, argName NameID, arg int64) {
 	t := tracerPtr.Load()
 	if t == nil {
 		return
@@ -106,7 +121,7 @@ func TraceSpan(laneIdx int, name NameID, startNs, endNs int64) {
 	}
 	l := &t.lanes[laneIdx]
 	i := l.next.Add(1) - 1
-	l.events[int(i)%len(l.events)] = span{start: startNs, end: endNs, name: name}
+	l.events[int(i)%len(l.events)] = span{start: startNs, end: endNs, name: name, argName: argName, arg: arg}
 }
 
 // traceEvent is one Chrome trace_event record ("X" = complete event, "M" =
@@ -161,10 +176,14 @@ func WriteTrace(w io.Writer) error {
 			for k := int64(0); k < n; k++ {
 				s := l.events[int((first+k))%len(l.events)]
 				dur := float64(s.end-s.start) / 1e3
-				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				ev := traceEvent{
 					Name: nameString(s.name), Cat: "symspmv", Ph: "X",
 					TS: float64(s.start) / 1e3, Dur: &dur, PID: 1, TID: li,
-				})
+				}
+				if s.argName >= 0 {
+					ev.Args = map[string]any{nameString(s.argName): s.arg}
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ev)
 			}
 		}
 	}

@@ -240,6 +240,39 @@ func Host() Platform {
 	}
 }
 
+// CalibratedHost returns the generic Host platform re-shaped to a live pool
+// and anchored to a measured bandwidth: p threads across d memory domains,
+// with the per-domain saturated bandwidth set to the measured STREAM triad
+// rate domTriadGBs of one domain (BW1 scaled so p threads on one domain can
+// reach saturation). The attribution engine uses it as the *independent*
+// model-time predictor: its phase times carry flop and barrier terms the
+// plain bytes/bandwidth roofline does not, so measured/model error is a
+// separate signal from the roofline fraction rather than its reciprocal.
+func CalibratedHost(p, d int, domTriadGBs float64) Platform {
+	pl := Host()
+	if p < 1 {
+		p = 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	pl.Name = "CalibratedHost"
+	pl.Cores = p
+	pl.ThreadsMax = p
+	pl.Sockets = d
+	if domTriadGBs > 0 {
+		pl.BWSocket = domTriadGBs
+		// Per-thread linear ramp: one domain's workers can saturate their
+		// domain, and a single thread gets a realistic fraction of it.
+		perThread := domTriadGBs / float64((p+d-1)/d)
+		if perThread > domTriadGBs {
+			perThread = domTriadGBs
+		}
+		pl.BW1 = perThread
+	}
+	return pl
+}
+
 // Platforms lists the paper's two machines in presentation order.
 var Platforms = []Platform{Dunnington, Gainestown}
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	symspmv "repro"
+	"repro/internal/obs"
 )
 
 type opKind int
@@ -49,10 +50,33 @@ type request struct {
 	in   []float64       // x for spmv, b for solve; length n
 	ctx  context.Context // per-request deadline/cancellation; never nil
 	done chan outcome    // buffered 1; the dispatcher is the only sender
+
+	// Request-scoped observability (reqtrace.go): id is the caller-visible
+	// request id (inbound traceparent trace-id or generated; empty on
+	// hand-built internal requests, which then skip the log line), seq the
+	// process-unique sequence number threading the trace spans, matrix the
+	// registry id. The three timestamps mark the ownership handoffs the
+	// latency decomposition hinges on.
+	id     string
+	seq    uint64
+	matrix string
+	enqNs  int64 // stamped by Enqueue
+	pickNs int64 // stamped when the dispatcher adds the request to a batch
+	dispNs int64 // stamped when the batch's kernel operation starts
+}
+
+// newRequest builds an externally-visible request with its observability
+// identity attached.
+func newRequest(id, matrix string, key batchKey, in []float64, ctx context.Context) *request {
+	return &request{
+		key: key, in: in, ctx: ctx, done: make(chan outcome, 1),
+		id: id, seq: nextSeq(), matrix: matrix,
+	}
 }
 
 func (r *request) finish(out outcome) {
 	recordOutcome(r.key.op, out.err)
+	observeRequest(r, out, obs.Now())
 	r.done <- out
 }
 
@@ -112,6 +136,7 @@ func (b *Batcher) Enqueue(r *request) error {
 	if b.stopped {
 		return ErrUnloaded
 	}
+	r.enqNs = obs.Now()
 	select {
 	case b.in <- r:
 		queueDepth.Observe(float64(len(b.in)))
@@ -155,6 +180,7 @@ func (b *Batcher) run() {
 				return
 			}
 		}
+		first.pickNs = obs.Now()
 		if first.ctx.Err() != nil {
 			first.finish(outcome{err: fmt.Errorf("serve: before dispatch: %w", first.ctx.Err())})
 			continue
@@ -211,6 +237,7 @@ func (b *Batcher) admitOrHold(r *request, batch *[]*request, pending *[]*request
 		return
 	}
 	if b.spmm && len(*batch) < b.maxBatch && r.key == (*batch)[0].key {
+		r.pickNs = obs.Now()
 		*batch = append(*batch, r)
 		return
 	}
@@ -249,6 +276,10 @@ func padWidth(lanes int) int {
 // caller inherits another lane's breakdown.
 func (b *Batcher) dispatch(batch []*request) {
 	recordDispatch(len(batch))
+	dispNs := obs.Now()
+	for _, r := range batch {
+		r.dispNs = dispNs
+	}
 	if len(batch) == 1 || !b.spmm {
 		for _, r := range batch {
 			b.scalar(r, 1)

@@ -49,6 +49,9 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/matrices/{id}/spmv", s.handleSpMV)
 	s.mux.HandleFunc("POST /v1/matrices/{id}/solve", s.handleSolve)
 	s.mux.Handle("GET /metrics", obs.Default.Handler())
+	for pattern, h := range obs.DebugHandlers() {
+		s.mux.Handle("GET "+pattern, h)
+	}
 	return s
 }
 
@@ -230,7 +233,7 @@ func (s *Server) inputVector(e *Entry, v []float64, ones bool, name string) ([]f
 		if name == "b" {
 			// b = A·1 through the registered kernel, so "converged" means
 			// the solver reproduced the all-ones solution.
-			req := &request{key: batchKey{op: opSpMV}, in: x, ctx: context.Background(), done: make(chan outcome, 1)}
+			req := newRequest("", e.ID, batchKey{op: opSpMV}, x, context.Background())
 			if err := e.batcher.Enqueue(req); err != nil {
 				return nil, err
 			}
@@ -287,12 +290,9 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	out, err := s.runRequest(e, &request{
-		key:  batchKey{op: opSpMV},
-		in:   x,
-		ctx:  r.Context(),
-		done: make(chan outcome, 1),
-	})
+	rq := newRequest(requestID(r.Header), e.ID, batchKey{op: opSpMV}, x, r.Context())
+	w.Header().Set("X-Request-Id", rq.id)
+	out, err := s.runRequest(e, rq)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -336,12 +336,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	out, err := s.runRequest(e, &request{
-		key:  batchKey{op: opSolve, tol: tol, maxIter: req.MaxIter},
-		in:   b,
-		ctx:  ctx,
-		done: make(chan outcome, 1),
-	})
+	rq := newRequest(requestID(r.Header), e.ID, batchKey{op: opSolve, tol: tol, maxIter: req.MaxIter}, b, ctx)
+	w.Header().Set("X-Request-Id", rq.id)
+	out, err := s.runRequest(e, rq)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -47,6 +47,16 @@ var (
 	rejectedDraining = obs.NewCounter("symspmv_serve_rejected_total",
 		"rejected requests", "reason", "draining")
 
+	// Per-request stage decomposition (reqtrace.go): queue wait (enqueue →
+	// batch pickup), coalescing wait (pickup → kernel dispatch; zero for solo
+	// requests) and solve (dispatch → answer).
+	stageQueueWait = obs.NewHistogram("symspmv_serve_stage_seconds",
+		"request latency by stage", obs.DurationBuckets, "stage", "queue_wait")
+	stageCoalesceWait = obs.NewHistogram("symspmv_serve_stage_seconds",
+		"request latency by stage", obs.DurationBuckets, "stage", "coalesce_wait")
+	stageSolve = obs.NewHistogram("symspmv_serve_stage_seconds",
+		"request latency by stage", obs.DurationBuckets, "stage", "solve")
+
 	spmvOK     = obs.NewCounter("symspmv_serve_requests_total", "requests by op and outcome", "op", "spmv", "outcome", "ok")
 	spmvErr    = obs.NewCounter("symspmv_serve_requests_total", "requests by op and outcome", "op", "spmv", "outcome", "error")
 	solveOK    = obs.NewCounter("symspmv_serve_requests_total", "requests by op and outcome", "op", "solve", "outcome", "ok")

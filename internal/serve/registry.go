@@ -159,6 +159,16 @@ func (reg *Registry) Load(id string, spec LoadSpec) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bind the roofline attribution engine while the kernel is idle — only
+	// when sampling is on (the first bind per pool shape runs a short STREAM
+	// calibration, which a sampling-off server should not pay at load time).
+	// No-op for formats attribution does not model.
+	if obs.SamplingEnabled() {
+		if _, err := symspmv.EnableAttribution(kern); err != nil {
+			kern.Close()
+			return nil, fmt.Errorf("serve: bind attribution: %w", err)
+		}
+	}
 
 	e := &Entry{
 		ID:       id,

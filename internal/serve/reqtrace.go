@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Request-scoped observability: every admitted request carries an id (the
+// caller's W3C traceparent trace-id when one is inbound, a generated one
+// otherwise) and a process-unique sequence number, and is timestamped at the
+// three ownership handoffs of its life — enqueue, batch pickup, kernel
+// dispatch — so its latency decomposes into queue wait, coalescing wait, and
+// solve time. The decomposition is exported three ways: per-stage histograms
+// on /metrics, one structured log line per request, and (when tracing is
+// enabled) three coordinator-lane spans sharing a "request" arg, which lets
+// perfetto group one request's stages and line them up against the kernel's
+// attribution spans.
+
+var (
+	reqSeq atomic.Uint64
+
+	spanQueueWait    = obs.RegisterName("serve/queue-wait")
+	spanCoalesceWait = obs.RegisterName("serve/coalesce-wait")
+	spanSolve        = obs.RegisterName("serve/solve")
+	spanArgRequest   = obs.RegisterName("request")
+)
+
+// nextSeq returns a process-unique request sequence number (never zero).
+func nextSeq() uint64 { return reqSeq.Add(1) }
+
+// requestID extracts the trace-id of an inbound W3C traceparent header
+// (00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>), so a caller's
+// distributed trace id threads through our logs. Absent or malformed headers
+// get a generated id instead.
+func requestID(h http.Header) string {
+	tp := h.Get("traceparent")
+	if len(tp) >= 55 && tp[2] == '-' && tp[35] == '-' {
+		id := tp[3:35]
+		allHex, nonZero := true, false
+		for i := 0; i < 32; i++ {
+			c := id[i]
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+				allHex = false
+				break
+			}
+			if c != '0' {
+				nonZero = true
+			}
+		}
+		// All-zero trace ids are invalid per the W3C spec.
+		if allHex && nonZero {
+			return id
+		}
+	}
+	return genRequestID()
+}
+
+// genRequestID builds a 32-hex-digit id from the monotonic clock and the
+// sequence counter — unique within the process and sortable by arrival.
+func genRequestID() string {
+	return fmt.Sprintf("%016x%016x", uint64(obs.Now()), nextSeq())
+}
+
+// reqLogger is the structured per-request logger; SetLogger overrides it
+// (cmd/symspmv-serve installs a JSON handler). Nil falls back to
+// slog.Default at log time, so early requests are never dropped.
+var reqLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs the structured logger request completions are written
+// to.
+func SetLogger(l *slog.Logger) { reqLogger.Store(l) }
+
+func logger() *slog.Logger {
+	if l := reqLogger.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
+// observeRequest exports one finished request's stage decomposition. Called
+// from request.finish with every handoff timestamp stamped; requests that
+// never entered the queue (failed admission) never get here.
+func observeRequest(r *request, out outcome, doneNs int64) {
+	// Clamp: a request failed before pickup or dispatch has zero timestamps
+	// for the later stages.
+	pick, disp := r.pickNs, r.dispNs
+	if pick == 0 {
+		pick = doneNs
+	}
+	if disp == 0 {
+		disp = doneNs
+	}
+	queueNs := pick - r.enqNs
+	coalesceNs := disp - pick
+	solveNs := doneNs - disp
+
+	stageQueueWait.Observe(float64(queueNs) / 1e9)
+	stageCoalesceWait.Observe(float64(coalesceNs) / 1e9)
+	stageSolve.Observe(float64(solveNs) / 1e9)
+
+	if r.id != "" {
+		attrs := []any{
+			slog.String("request", r.id),
+			slog.Uint64("seq", r.seq),
+			slog.String("op", r.key.op.String()),
+			slog.String("matrix", r.matrix),
+			slog.Int("lanes", out.lanes),
+			slog.Float64("queue_wait_ms", float64(queueNs)/1e6),
+			slog.Float64("coalesce_wait_ms", float64(coalesceNs)/1e6),
+			slog.Float64("solve_ms", float64(solveNs)/1e6),
+		}
+		if r.key.op == opSolve {
+			attrs = append(attrs,
+				slog.Int("iterations", out.iterations),
+				slog.Bool("converged", out.converged),
+				slog.Float64("residual", out.residual))
+		}
+		if out.err != nil {
+			attrs = append(attrs, slog.String("error", out.err.Error()))
+			logger().Error("request failed", attrs...)
+		} else {
+			logger().Info("request served", attrs...)
+		}
+	}
+
+	if obs.TracingEnabled() && r.enqNs > 0 {
+		seq := int64(r.seq)
+		obs.TraceSpanArg(obs.LaneCoordinator, spanQueueWait, r.enqNs, pick, spanArgRequest, seq)
+		if disp > pick {
+			obs.TraceSpanArg(obs.LaneCoordinator, spanCoalesceWait, pick, disp, spanArgRequest, seq)
+		}
+		obs.TraceSpanArg(obs.LaneCoordinator, spanSolve, disp, doneNs, spanArgRequest, seq)
+	}
+}

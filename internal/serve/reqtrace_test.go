@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDFromTraceparent(t *testing.T) {
+	h := http.Header{}
+	h.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if got := requestID(h); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("requestID = %q, want the inbound trace-id", got)
+	}
+}
+
+func TestRequestIDGenerated(t *testing.T) {
+	cases := map[string]string{
+		"absent":       "",
+		"truncated":    "00-4bf92f3577b34da6",
+		"non-hex":      "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+		"all-zero":     "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"wrong-dashes": "00x4bf92f3577b34da6a3ce929d0e0e4736x00f067aa0ba902b7x01",
+	}
+	seen := map[string]bool{}
+	for name, tp := range cases {
+		h := http.Header{}
+		if tp != "" {
+			h.Set("traceparent", tp)
+		}
+		id := requestID(h)
+		if len(id) != 32 || strings.ContainsAny(id, "-") {
+			t.Errorf("%s: generated id %q, want 32 hex digits", name, id)
+		}
+		if tp != "" && strings.Contains(tp, id) {
+			t.Errorf("%s: id %q taken from invalid traceparent", name, id)
+		}
+		if seen[id] {
+			t.Errorf("%s: duplicate generated id %q", name, id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestObserveRequestClampsEarlyFailure: a request that dies before pickup
+// (queue full at dispatch, context canceled) has zero pick/dispatch stamps;
+// the stage decomposition must clamp instead of producing negative waits.
+func TestObserveRequestClampsEarlyFailure(t *testing.T) {
+	q0, c0, s0 := stageQueueWait.Sum(), stageCoalesceWait.Sum(), stageSolve.Sum()
+	r := newRequest("", "m", batchKey{op: opSpMV}, nil, nil)
+	r.enqNs = 1000
+	observeRequest(r, outcome{}, 5000)
+	if d := stageQueueWait.Sum() - q0; d <= 0 {
+		t.Errorf("queue-wait sum advanced by %g, want > 0", d)
+	}
+	if d := stageCoalesceWait.Sum() - c0; d != 0 {
+		t.Errorf("coalesce-wait sum advanced by %g, want 0 (clamped)", d)
+	}
+	if d := stageSolve.Sum() - s0; d != 0 {
+		t.Errorf("solve sum advanced by %g, want 0 (clamped)", d)
+	}
+}

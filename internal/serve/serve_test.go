@@ -160,8 +160,8 @@ func plugDispatcher(t *testing.T, e *Entry) chan outcome {
 		b[i] = 1
 	}
 	req := &request{
-		key:  batchKey{op: opSolve, tol: 1e-16, maxIter: 300},
-		in:   b, ctx: context.Background(), done: make(chan outcome, 1),
+		key: batchKey{op: opSolve, tol: 1e-16, maxIter: 300},
+		in:  b, ctx: context.Background(), done: make(chan outcome, 1),
 	}
 	if err := e.batcher.Enqueue(req); err != nil {
 		t.Fatal(err)

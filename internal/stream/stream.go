@@ -155,6 +155,17 @@ func RunDomain(pool *parallel.Pool, d, n, reps int) Result {
 	return res
 }
 
+// TriadSum aggregates the triad rates (bytes/s) of a per-domain measurement:
+// the machine-level roofline available when every domain streams at once,
+// under the interleaved-allocation assumption the domain pools make.
+func TriadSum(rs []DomainResult) float64 {
+	total := 0.0
+	for _, r := range rs {
+		total += r.Triad
+	}
+	return total
+}
+
 // RunPerDomain measures every domain of the pool in turn, one RunDomain
 // each. On a flat (single-domain) pool it degenerates to one whole-machine
 // measurement — domain 0 holding all workers — so callers can always iterate

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Attribution smoke test: the roofline attribution engine end to end, then
+# request-scoped tracing through the serve path.
+#
+# Leg 1 (cg-solve): solve a memory-resident system with -metrics-addr, then
+# assert that /debug/attrib reports a STREAM calibration and, for every
+# attribution entry, an achieved-bandwidth fraction in (0, 1.5] — i.e. the
+# engine joined measured phase times with predicted traffic into a physically
+# plausible rate — and that /metrics exposes the symspmv_attrib_* families.
+# The matrix is generated at a scale whose per-op traffic exceeds the L3 on
+# any plausible host, so the memory roofline is the binding one.
+#
+# Leg 2 (symspmv-serve): load a small matrix, send a solve carrying a W3C
+# traceparent, and assert the trace-id comes back in X-Request-Id, the
+# structured request log carries the id and the stage decomposition, and the
+# serve process exposes the per-stage latency histogram.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:9468
+SERVE_ADDR=127.0.0.1:9469
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "attrib-smoke: building binaries"
+go build -o "$TMP/cg-solve" ./cmd/cg-solve
+go build -o "$TMP/symspmv-serve" ./cmd/symspmv-serve
+go build -o "$TMP/mtx-gen" ./cmd/mtx-gen
+
+echo "attrib-smoke: generating matrices"
+"$TMP/mtx-gen" -out "$TMP/big" -scale 1.5 -matrices parabolic_fem >/dev/null
+"$TMP/mtx-gen" -out "$TMP/small" -scale 0.01 -matrices parabolic_fem >/dev/null
+BIG=$(ls "$TMP"/big/*.mtx | head -1)
+SMALL=$(ls "$TMP"/small/*.mtx | head -1)
+
+# ---- Leg 1: cg-solve attribution --------------------------------------------
+
+echo "attrib-smoke: solving with -metrics-addr $ADDR"
+"$TMP/cg-solve" -format sss-eff -threads 2 -maxiter 60 \
+    -metrics-addr "$ADDR" -linger 60s "$BIG" >"$TMP/cg.out" 2>&1 &
+PID=$!
+
+ATTRIB=""
+for _ in $(seq 1 120); do
+    if ATTRIB=$(curl -fsS "http://$ADDR/debug/attrib" 2>/dev/null) &&
+        jq -e '.entries | length > 0' <<<"$ATTRIB" >/dev/null 2>&1; then
+        break
+    fi
+    ATTRIB=""
+    sleep 0.5
+done
+if [ -z "$ATTRIB" ]; then
+    echo "attrib-smoke: FAIL: /debug/attrib never served entries" >&2
+    cat "$TMP/cg.out" >&2
+    exit 1
+fi
+
+# The calibration ran and measured a positive triad bandwidth.
+if ! jq -e '.stream | length > 0 and all(.triad_gbps > 0)' <<<"$ATTRIB" >/dev/null; then
+    echo "attrib-smoke: FAIL: no positive STREAM calibration in /debug/attrib" >&2
+    jq . <<<"$ATTRIB" >&2
+    exit 1
+fi
+
+# Every attribution entry is physically plausible: achieved bandwidth is a
+# positive fraction of the measured roofline, at most 1.5 (the matrix streams
+# from memory, so beating STREAM by >50% would mean broken accounting).
+if ! jq -e '.entries | length > 0 and all(.roofline_fraction > 0 and .roofline_fraction <= 1.5)' <<<"$ATTRIB" >/dev/null; then
+    echo "attrib-smoke: FAIL: roofline fraction outside (0, 1.5]" >&2
+    jq '.entries' <<<"$ATTRIB" >&2
+    exit 1
+fi
+# Both phases of the effective-ranges method attribute at 2 threads.
+for phase in compute reduction; do
+    if ! jq -e --arg ph "$phase" \
+        '.entries | any(.method == "effective-ranges" and .phase == $ph and .ops > 0)' \
+        <<<"$ATTRIB" >/dev/null; then
+        echo "attrib-smoke: FAIL: no $phase attribution entry" >&2
+        jq '.entries' <<<"$ATTRIB" >&2
+        exit 1
+    fi
+done
+echo "attrib-smoke: /debug/attrib OK ($(jq '.entries | length' <<<"$ATTRIB") entries, fractions $(jq -r '[.entries[].roofline_fraction] | "\(min|.*1000|round/1000)..\(max|.*1000|round/1000)"' <<<"$ATTRIB"))"
+
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+for family in symspmv_attrib_achieved_gbps symspmv_attrib_roofline_fraction \
+    symspmv_attrib_model_error symspmv_attrib_stream_gbps symspmv_attrib_fraction_bucket; do
+    if ! grep -q "^$family" <<<"$METRICS"; then
+        echo "attrib-smoke: FAIL: /metrics missing $family" >&2
+        exit 1
+    fi
+done
+echo "attrib-smoke: /metrics attribution families OK"
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# ---- Leg 2: request-scoped tracing through serve ----------------------------
+
+echo "attrib-smoke: starting symspmv-serve on $SERVE_ADDR"
+"$TMP/symspmv-serve" -addr "$SERVE_ADDR" 2>"$TMP/serve.log" &
+PID=$!
+for _ in $(seq 1 60); do
+    curl -fsS "http://$SERVE_ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.5
+done
+
+curl -fsS "http://$SERVE_ADDR/v1/matrices" \
+    -d "{\"id\":\"pf\",\"path\":\"$SMALL\",\"format\":\"sss-idx\",\"threads\":2}" >/dev/null
+
+TRACEID=4bf92f3577b34da6a3ce929d0e0e4736
+GOT=$(curl -fsS -D "$TMP/headers" "http://$SERVE_ADDR/v1/matrices/pf/solve" \
+    -H "traceparent: 00-$TRACEID-00f067aa0ba902b7-01" -d '{"b_ones":true}')
+if ! jq -e '.converged == true' <<<"$GOT" >/dev/null; then
+    echo "attrib-smoke: FAIL: served solve did not converge: $GOT" >&2
+    exit 1
+fi
+if ! grep -qi "^x-request-id: $TRACEID" "$TMP/headers"; then
+    echo "attrib-smoke: FAIL: X-Request-Id does not echo the inbound trace-id" >&2
+    cat "$TMP/headers" >&2
+    exit 1
+fi
+# The structured request log carries the id and the stage decomposition.
+if ! grep "request served" "$TMP/serve.log" | grep "request=$TRACEID" |
+    grep -q "queue_wait_ms="; then
+    echo "attrib-smoke: FAIL: request log missing id or stage timings" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+if ! grep "request=$TRACEID" "$TMP/serve.log" | grep -q "solve_ms="; then
+    echo "attrib-smoke: FAIL: request log missing solve_ms" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+# The per-stage latency histogram and the serve-side attribution endpoint.
+SMETRICS=$(curl -fsS "http://$SERVE_ADDR/metrics")
+if ! grep -q '^symspmv_serve_stage_seconds_bucket{stage="queue_wait"' <<<"$SMETRICS"; then
+    echo "attrib-smoke: FAIL: serve /metrics missing stage histogram" >&2
+    exit 1
+fi
+if ! curl -fsS "http://$SERVE_ADDR/debug/attrib" | jq -e '.entries | all(.roofline_fraction > 0)' >/dev/null; then
+    echo "attrib-smoke: FAIL: serve /debug/attrib implausible" >&2
+    exit 1
+fi
+echo "attrib-smoke: serve request tracing OK (id echoed, staged log line present)"
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "attrib-smoke: PASS"

@@ -417,6 +417,7 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 		k.bytes = a.sss.Bytes()
 		k.hub = kk.Hub() != nil
 		k.hier = kk.Hierarchical()
+		k.ck = kk
 	case CSXSym:
 		var smx *csx.SymMatrix
 		if hubPlan != nil {
@@ -459,6 +460,7 @@ type boundKernel struct {
 	mulMat func(x, y []float64, vecs int) error // nil when the format has no SpMM kernel
 	hub    bool                                 // a hub plan engaged (HubCache + profitable analysis)
 	hier   bool                                 // the hierarchical two-level reduction engaged (Domains > 1)
+	ck     *core.Kernel                         // the underlying SSS kernel; nil for non-SSS formats
 
 	// mu serializes every operation on the kernel. The underlying engines own
 	// per-call mutable state — operand slots the phase closures read, shared
