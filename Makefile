@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-colored race-shard vet bench bench-json bench-spmm bench-smoke bench-diff ci tune-demo telemetry-smoke fuzz-smoke serve-smoke attrib-smoke
+.PHONY: all build test race race-color race-colored race-shard vet bench bench-json bench-spmm bench-smoke bench-diff ci tune-demo telemetry-smoke fuzz-smoke serve-smoke attrib-smoke
 
 all: build
 
@@ -20,6 +20,15 @@ race:
 race-colored:
 	$(GO) test -race -run Color ./internal/color ./internal/core .
 
+# race-color stresses the recursive algebraic coloring specifically: the
+# level-set construction, the recursive split, the greedy-vs-recursive
+# comparison on the scattered suite, and the colored kernels (symmetric and
+# kind-generalized) that execute the resulting schedule, repeated so the
+# scheduler sees varied interleavings.
+race-color:
+	$(GO) test -race -count=3 -run 'Color|Recursive|Level' ./internal/color
+	$(GO) test -race -run 'Color|Kind' ./internal/core ./internal/fuzzcheck
+
 # race-shard focuses the race detector on the NUMA-sharded execution path:
 # the domain-scoped spin barriers, the hierarchical two-level reduction
 # (domain-local combine overlapping remote multiplies is exactly where a
@@ -38,9 +47,10 @@ bench:
 
 # bench-json measures every symmetric method (matrix × threads) on this host
 # with the per-phase breakdown and writes the machine-readable record to
-# BENCH_pr8.json.
+# BENCH_pr10.json; gate a change with
+# `go run ./cmd/bench-diff BENCH_pr8.json BENCH_pr10.json`.
 bench-json:
-	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr8.json
+	$(GO) run ./cmd/spmv-bench -exp bench-json -scale 0.02 -iters 16 -json BENCH_pr10.json
 
 # bench-spmm sweeps multi-RHS widths (scalar, spmm2/4/8, each with and
 # without hub caching where the analysis finds a hub) over a paper-suite
@@ -94,6 +104,9 @@ bench-diff:
 	if go run ./cmd/bench-diff BENCH_pr8.json $$tmp >/dev/null 2>/dev/null; then \
 		echo "bench-diff: FAIL: sentinel missed a 50% regression"; rm -f $$tmp; exit 1; \
 	fi; rm -f $$tmp
+	@if [ -f BENCH_pr10.json ]; then \
+		go run ./cmd/bench-diff BENCH_pr8.json BENCH_pr10.json || exit 1; \
+	fi
 	@echo "bench-diff: sentinel OK (clean self-diff, regression caught)"
 
 # serve-smoke drives symspmv-serve end to end: load a generated matrix, show

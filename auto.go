@@ -180,6 +180,7 @@ func AutoKernel(a *Matrix, options ...AutoOption) (Kernel, *Decision, error) {
 		Machine:     autotune.MachineSignature(),
 		NV:          o.tune.NV,
 		Domains:     domains,
+		Kind:        a.sss.Kind,
 	}
 	store := autotune.Store{Dir: o.cacheDir}
 	if !o.noCache {

@@ -105,6 +105,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if cls := A.SymmetryClass(); cls != "symmetric" {
+		// Fail before any kernel is built: CG needs an SPD operator, which a
+		// skew-symmetric (xᵀAx = 0) or structurally-symmetric (A ≠ Aᵀ)
+		// matrix can never be. spmv-bench runs these classes; cg-solve
+		// cannot.
+		log.Fatalf("cg-solve: CG requires a symmetric positive definite system, but %s is %s", flag.Arg(0), cls)
+	}
 	fmt.Printf("matrix: %s\n", A.Stats())
 
 	t0 := time.Now()

@@ -44,16 +44,22 @@ func main() {
 			log.Fatal(err)
 		}
 		st := A.Stats()
-		fmt.Printf("%s:\n  %s\n", path, st)
+		fmt.Printf("%s:\n  %s\n  class: %s\n", path, st, A.SymmetryClass())
 		if *dump > 0 {
 			if err := dumpUnits(path, *dump); err != nil {
 				log.Fatal(err)
 			}
 		}
 		if *formats {
-			for _, f := range []symspmv.Format{
+			// Skew and structural matrices cannot encode CSX-Sym; stick to
+			// the formats their class supports.
+			list := []symspmv.Format{
 				symspmv.CSR, symspmv.CSX, symspmv.SSSIndexed, symspmv.CSXSym,
-			} {
+			}
+			if A.SymmetryClass() != "symmetric" {
+				list = []symspmv.Format{symspmv.CSR, symspmv.CSX, symspmv.SSSIndexed}
+			}
+			for _, f := range list {
 				k, err := A.Kernel(f, symspmv.Threads(*threads))
 				if err != nil {
 					log.Fatal(err)
@@ -112,9 +118,16 @@ func rooflineTable(path string, threads int) error {
 	}
 
 	row(perfmodel.CSRCost(csr.FromCOO(c)))
-	for _, m := range []core.ReductionMethod{
+	methods := []core.ReductionMethod{
 		core.Naive, core.EffectiveRanges, core.Indexed, core.Atomic, core.Colored,
-	} {
+	}
+	if s.Kind != core.Sym {
+		// The atomic ablation has no kind-generalized body.
+		methods = []core.ReductionMethod{
+			core.Naive, core.EffectiveRanges, core.Indexed, core.Colored,
+		}
+	}
+	for _, m := range methods {
 		k := core.NewKernel(s, m, pool)
 		row(perfmodel.SSSCost(k))
 	}
@@ -136,6 +149,9 @@ func dumpUnits(path string, n int) error {
 	s, err := core.FromCOO(c)
 	if err != nil {
 		return err
+	}
+	if s.Kind != core.Sym {
+		return fmt.Errorf("-dump: CSX-Sym encodes only symmetric matrices, got a %s one", s.Kind)
 	}
 	sm := csx.NewSym(s, 1, core.Indexed, csx.DefaultOptions())
 	fmt.Printf("  first %d ctl units (serial encoding):\n", n)

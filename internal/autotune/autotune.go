@@ -307,7 +307,7 @@ type tuner struct {
 
 	pools     map[[2]int]*parallel.Pool // keyed by (threads, domains)
 	symStats  map[int][2]int64
-	colorMemo map[int]int   // colored-schedule phase count per thread count
+	colorMemo map[int][2]int // colored-schedule {colors, blocks} per thread count
 	hierMemo  map[int]int64 // hierarchical cross-window bytes per domain count
 
 	csrBuilt *csr.Matrix // memoized expanded operator
@@ -332,6 +332,35 @@ func Tune(pr Problem, o Options) (*Decision, error) {
 		return nil, errors.New("autotune: Problem needs S and M")
 	}
 	o = o.withDefaults()
+	if pr.S.Kind != core.Sym {
+		// Skew and structurally-symmetric matrices run only the formats with
+		// kind-generalized kernels: CSR (expanded) and the local-vector /
+		// colored SSS methods. Atomic, CSX-Sym, CSB-Sym and BCSR encode the
+		// symmetric scatter into their bodies; hub and hierarchical variants
+		// likewise exist only for Kind=Sym, and the SSS SpMM bodies are
+		// Sym-only so an NV>1 search keeps just CSR.
+		var kept []Format
+		for _, f := range o.Formats {
+			switch f {
+			case CSR, SSSNaive, SSSEffective, SSSIndexed, SSSColored:
+				if o.NV > 1 && f != CSR {
+					continue
+				}
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("autotune: no searched format supports %s matrices", pr.S.Kind)
+		}
+		o.Formats = kept
+		o.DisableHub = true
+		o.Domains = 1 // non-Sym kernels always reduce flat
+		if pr.S.Kind == core.Structural {
+			// Problem.M is a general COO for structural matrices; the RCM
+			// rebuild path assumes symmetric lower storage.
+			o.DisableReorder = true
+		}
+	}
 	if pr.Stats.Rows == 0 {
 		pr.Stats = matrix.ComputeStats(pr.M)
 	}
@@ -342,7 +371,7 @@ func Tune(pr Problem, o Options) (*Decision, error) {
 		d:         &Decision{},
 		pools:     make(map[[2]int]*parallel.Pool),
 		symStats:  make(map[int][2]int64),
-		colorMemo: make(map[int]int),
+		colorMemo: make(map[int][2]int),
 		hierMemo:  make(map[int]int64),
 		csrBuilt:  pr.CSR,
 	}
@@ -451,6 +480,24 @@ func (t *tuner) modelStage() []int {
 		}
 	}
 
+	// Colored blow-up guard: on a near-complete conflict graph (power-law
+	// matrices, where every block's write set reaches the hub columns) the
+	// coloring degenerates to O(blocks) colors and the plan serializes into a
+	// barrier chain with almost no concurrency inside each phase. The model's
+	// per-barrier charge underprices that collapse badly enough to let such a
+	// plan survive to trials, so candidates whose schedule burns a large
+	// fraction of the block count as colors are rejected outright.
+	for i := range t.d.Candidates {
+		c := &t.d.Candidates[i]
+		if c.Format != SSSColored || c.Threads <= 1 {
+			continue
+		}
+		colors, blocks := t.colorStats(c.Threads)
+		if colors > 8 && 3*colors > blocks {
+			c.Status = fmt.Sprintf("rejected (colored blow-up: %d colors over %d blocks)", colors, blocks)
+		}
+	}
+
 	bestSec := -1.0
 	for _, c := range t.d.Candidates {
 		if bestSec < 0 || c.ModeledSeconds < bestSec {
@@ -460,6 +507,9 @@ func (t *tuner) modelStage() []int {
 	var survivors []int
 	for i := range t.d.Candidates {
 		c := &t.d.Candidates[i]
+		if c.Status != "" {
+			continue // rejected above; never trialed, never resurrected
+		}
 		if c.ModeledSeconds > t.o.PruneRatio*bestSec {
 			c.Status = fmt.Sprintf("pruned (model: %.1fx off best)", c.ModeledSeconds/bestSec)
 			continue
@@ -475,7 +525,9 @@ func (t *tuner) modelStage() []int {
 		}
 		var pruned []pair
 		for i := range t.d.Candidates {
-			if t.d.Candidates[i].Status != "" {
+			// Only model-pruned candidates come back; guard-rejected ones
+			// (colored blow-up) stay out no matter how thin the field is.
+			if strings.HasPrefix(t.d.Candidates[i].Status, "pruned") {
 				pruned = append(pruned, pair{i, t.d.Candidates[i].ModeledSeconds})
 			}
 		}

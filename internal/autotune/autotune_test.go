@@ -45,13 +45,14 @@ func newTuner(t testing.TB, pr Problem) *tuner {
 		pr.Stats = matrix.ComputeStats(pr.M)
 	}
 	return &tuner{
-		pr:       pr,
-		o:        Options{}.withDefaults(),
-		feat:     ExtractFeatures(pr.Stats),
-		d:        &Decision{},
-		pools:    make(map[[2]int]*parallel.Pool),
-		symStats: make(map[int][2]int64),
-		hierMemo: make(map[int]int64),
+		pr:        pr,
+		o:         Options{}.withDefaults(),
+		feat:      ExtractFeatures(pr.Stats),
+		d:         &Decision{},
+		pools:     make(map[[2]int]*parallel.Pool),
+		symStats:  make(map[int][2]int64),
+		colorMemo: make(map[int][2]int),
+		hierMemo:  make(map[int]int64),
 	}
 }
 

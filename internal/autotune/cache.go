@@ -6,7 +6,7 @@ package autotune
 //
 //	magic "ATNC" | version u32 |
 //	fingerprint u64 | machineLen u32 | machine bytes | nv u32 |
-//	keyDomains u32 |
+//	keyDomains u32 | kind u8 |
 //	format u32 | threads u32 | reorder u8 | hub u8 |
 //	domains u32 | hierarchical u8 | scoreNs f64 |
 //	crc32 (IEEE) of everything above
@@ -55,12 +55,14 @@ func CacheStats() (hits, misses, corrupt int64) {
 
 const (
 	cacheMagic = "ATNC"
-	// cacheVersion 4: the plan space gained NUMA domain-sharded hierarchical
-	// variants, and the entry format gained the domain count and hierarchical
-	// flag. v3 entries never raced a hierarchical plan, so they read as a
-	// clean miss and retune. (v3 added hub variants and NV over v2; v2 added
-	// the SSS-colored format over v1.)
-	cacheVersion = 4
+	// cacheVersion 5: the key gained the symmetry-class byte. The structure
+	// fingerprint hashes only the index arrays, so a skew or structural
+	// matrix with the same pattern as a symmetric one would otherwise replay
+	// the symmetric plan — whose search space (hub, hierarchical, CSX/CSB)
+	// the non-Sym kinds cannot build. v4 entries read as a clean miss and
+	// retune. (v4 added NUMA domain-sharded hierarchical variants; v3 hub
+	// variants and NV; v2 the SSS-colored format.)
+	cacheVersion = 5
 )
 
 // Key identifies one tuning-cache entry: the matrix structure fingerprint,
@@ -76,6 +78,10 @@ type Key struct {
 	Machine     string
 	NV          int
 	Domains     int
+	// Kind is the matrix's symmetry class. The fingerprint covers only the
+	// index structure, which all classes share, so the class must key the
+	// entry separately.
+	Kind core.SymKind
 }
 
 // nv normalizes the vector count (0 → 1).
@@ -166,6 +172,11 @@ func (st Store) path(k Key) string {
 		// count, beside the flat plan.
 		name += fmt.Sprintf("-d%d", d)
 	}
+	if k.Kind != core.Sym {
+		// Non-Sym kinds share the fingerprint of a same-pattern symmetric
+		// matrix; a suffix keeps their plans in separate files.
+		name += fmt.Sprintf("-k%d", int(k.Kind))
+	}
 	return filepath.Join(st.Dir, name+".atc")
 }
 
@@ -187,6 +198,7 @@ func (st Store) Save(k Key, p Plan, scoreNs float64) error {
 	w.Write([]byte(k.Machine))
 	put(k.nv())
 	put(k.domains())
+	put(uint8(k.Kind))
 	put(uint32(p.Format))
 	put(uint32(p.Threads))
 	var re, hb, hier uint8
@@ -277,12 +289,15 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 		return Plan{}, fmt.Errorf("reading machine signature: %w", err)
 	}
 	var nv, keyDomains, format, threads, domains uint32
-	var re, hb, hier uint8
+	var kind, re, hb, hier uint8
 	var score float64
 	if err := get(&nv); err != nil {
 		return Plan{}, err
 	}
 	if err := get(&keyDomains); err != nil {
+		return Plan{}, err
+	}
+	if err := get(&kind); err != nil {
 		return Plan{}, err
 	}
 	if err := get(&format); err != nil {
@@ -314,8 +329,12 @@ func readEntry(r io.Reader, k Key) (Plan, error) {
 	if gotSum != wantSum {
 		return Plan{}, fmt.Errorf("checksum mismatch: file %08x, computed %08x", gotSum, wantSum)
 	}
-	if fp != k.Fingerprint || string(machine) != k.Machine || nv != k.nv() || keyDomains != k.domains() {
-		return Plan{}, fmt.Errorf("entry keyed to a different matrix, machine, vector count, or domain count")
+	if kind > uint8(core.Structural) {
+		return Plan{}, fmt.Errorf("unknown symmetry class %d", kind)
+	}
+	if fp != k.Fingerprint || string(machine) != k.Machine || nv != k.nv() ||
+		keyDomains != k.domains() || core.SymKind(kind) != k.Kind {
+		return Plan{}, fmt.Errorf("entry keyed to a different matrix, machine, vector count, domain count, or symmetry class")
 	}
 	if format >= uint32(NumFormats) {
 		return Plan{}, fmt.Errorf("unknown format %d", format)

@@ -123,7 +123,7 @@ func TestStoreRejectsForeignKey(t *testing.T) {
 	if ok || err == nil {
 		t.Fatalf("foreign key: plan %v ok %v err %v, want miss + error", p, ok, err)
 	}
-	if !strings.Contains(err.Error(), "different matrix, machine, vector count, or domain count") {
+	if !strings.Contains(err.Error(), "different matrix, machine, vector count, domain count, or symmetry class") {
 		t.Fatalf("foreign key diagnostic = %v", err)
 	}
 }

@@ -41,18 +41,27 @@ func (t *tuner) symbolic(p int) (entries, region int64) {
 }
 
 // colorCount returns the phase count of the conflict-free colored schedule
-// at p threads, memoized per thread count. Like symbolic, it is a purely
-// symbolic scan of the unreordered structure; reordered colored variants are
-// priced with the same count, which is conservative (RCM can only shrink
-// it) — the micro-trials make the final call.
+// at p threads. Like symbolic, it is a purely symbolic scan of the
+// unreordered structure; reordered colored variants are priced with the same
+// count, which is conservative (RCM can only shrink it) — the micro-trials
+// make the final call.
 func (t *tuner) colorCount(p int) int {
+	c, _ := t.colorStats(p)
+	return c
+}
+
+// colorStats returns the color and block counts of the conflict-free
+// schedule at p threads, memoized per thread count. The block count is what
+// the blow-up guard compares the colors against: colors near the block count
+// mean the "parallel" phases are nearly empty.
+func (t *tuner) colorStats(p int) (colors, blocks int) {
 	if v, ok := t.colorMemo[p]; ok {
-		return v
+		return v[0], v[1]
 	}
 	s := t.pr.S
-	c := color.Colors(s.N, s.RowPtr, s.ColIdx, p, color.Options{})
-	t.colorMemo[p] = c
-	return c
+	sc := color.Build(s.N, s.RowPtr, s.ColIdx, p, color.Options{})
+	t.colorMemo[p] = [2]int{sc.NumColors, sc.NumBlocks}
+	return sc.NumColors, sc.NumBlocks
 }
 
 // crossElems estimates the stored elements whose transposed write lands in
@@ -169,6 +178,15 @@ func (t *tuner) modelCost(f Format, p int, reordered bool) perfmodel.SpMVCost {
 		c.XAccesses = logical / 4 // one irregular probe per block column
 	case SSSNaive, SSSEffective, SSSIndexed, SSSAtomic, SSSColored, CSXSym:
 		matBytes := feat.SSSBytes
+		// The feature estimate assumes the Sym layout; correct it for the
+		// kinds' actual storage (Skew drops the dense diagonal, Structural
+		// streams a second value array).
+		switch t.pr.S.Kind {
+		case core.Skew:
+			matBytes -= 8 * n
+		case core.Structural:
+			matBytes += 8 * nnzL
+		}
 		if f == CSXSym {
 			matBytes = int64(csxCompressionEstimate * float64(feat.SSSBytes))
 		}

@@ -14,6 +14,18 @@
 // multiply→reduce barrier pair, which is why low-bandwidth (e.g.
 // RCM-reordered) matrices, whose conflict graphs are nearly interval graphs,
 // are the natural fit: they collapse to very few colors.
+//
+// Two coloring algorithms are provided. The greedy first-fit walk in
+// ascending block order is ideal on banded structure but degenerates on
+// scattered matrices, where a late block's earlier neighbors can occupy
+// every low color even though the conflict graph itself is nearly bipartite.
+// The recursive algebraic coloring removes that order dependence: it builds
+// BFS level sets over the conflict graph, exploits that edges never span
+// more than one level (so all even levels are mutually independent, as are
+// all odd levels), and recursively applies itself to each level's induced
+// subgraph, sharing one palette across even levels and a second across odd
+// levels. The default Auto mode colors symbolically with both and keeps
+// whichever uses fewer colors, so no matrix class regresses.
 package color
 
 import (
@@ -23,12 +35,40 @@ import (
 	"repro/internal/partition"
 )
 
+// Algorithm selects the coloring strategy for Build.
+type Algorithm int
+
+const (
+	// Auto colors with both algorithms and keeps the one with fewer colors
+	// (ties go to Recursive, whose level structure balances better).
+	Auto Algorithm = iota
+	// Greedy is the first-fit walk in ascending block order (the PR 3
+	// baseline): best on banded/RCM-reordered structure.
+	Greedy
+	// Recursive is the RACE-style level-set coloring: order-independent,
+	// robust on scattered matrices without requiring RCM first.
+	Recursive
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Greedy:
+		return "greedy"
+	case Recursive:
+		return "recursive"
+	default:
+		return "auto"
+	}
+}
+
 // Options configures schedule construction. The zero value is ready to use.
 type Options struct {
 	// BlocksPerThread is the number of row blocks carved per thread. More
 	// blocks give the coloring finer granularity (fewer forced conflicts per
 	// color) at the cost of shorter per-phase work items. Default 8.
 	BlocksPerThread int
+	// Algorithm picks the coloring strategy; the zero value is Auto.
+	Algorithm Algorithm
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +89,9 @@ type Schedule struct {
 	Part      *partition.RowPartition // block b owns rows [Start[b], End[b])
 	Color     []int32                 // Color[b] ∈ [0, NumColors)
 	NumColors int
+	// Algo records which algorithm produced Color (never Auto: Auto resolves
+	// to the winner).
+	Algo Algorithm
 	// Assign[c][tid] lists the blocks thread tid executes during color phase
 	// c, balanced by stored-nonzero count within each color.
 	Assign [][][]int32
@@ -57,7 +100,9 @@ type Schedule struct {
 // Build constructs a colored schedule for the strict-lower-triangle CSR
 // structure (rowPtr, colIdx) of an n×n symmetric matrix at p threads.
 // Construction is purely symbolic: O(B²) block-pair intersection tests over
-// sorted touched-column lists, with B row blocks.
+// sorted touched-column lists, with B row blocks, followed by the coloring
+// walk (greedy) and/or the level-set recursion (recursive) on the B-vertex
+// conflict graph.
 func Build(n int, rowPtr, colIdx []int32, p int, opt Options) *Schedule {
 	if p <= 0 {
 		panic(fmt.Sprintf("color: Build with p=%d", p))
@@ -71,6 +116,7 @@ func Build(n int, rowPtr, colIdx []int32, p int, opt Options) *Schedule {
 			Part:      &partition.RowPartition{Start: []int32{0}, End: []int32{int32(n)}},
 			Color:     []int32{0},
 			NumColors: 1,
+			Algo:      opt.Algorithm,
 			Assign:    [][][]int32{{{0}}},
 		}
 	}
@@ -83,10 +129,47 @@ func Build(n int, rowPtr, colIdx []int32, p int, opt Options) *Schedule {
 		nb = p
 	}
 	part := partition.ByNNZ(rowPtr, nb)
+	adj := conflictGraph(part, rowPtr, colIdx, nb)
 
-	// touched[b]: the distinct columns below block b's start that its rows
-	// reference — exactly the transpose-contribution writes leaving the
-	// block's own row range.
+	var colors []int32
+	var numColors int
+	algo := opt.Algorithm
+	switch opt.Algorithm {
+	case Greedy:
+		colors, numColors = greedyColor(adj)
+	case Recursive:
+		colors, numColors = recursiveColor(adj)
+	default: // Auto: symbolic cost is tiny next to the numeric kernel, so
+		// run both and keep the shorter barrier chain.
+		gc, gn := greedyColor(adj)
+		rc, rn := recursiveColor(adj)
+		if rn <= gn {
+			colors, numColors, algo = rc, rn, Recursive
+		} else {
+			colors, numColors, algo = gc, gn, Greedy
+		}
+	}
+
+	sc := &Schedule{
+		P:         p,
+		NumBlocks: nb,
+		Part:      part,
+		Color:     colors,
+		NumColors: numColors,
+		Algo:      algo,
+	}
+	sc.assign(rowPtr)
+	return sc
+}
+
+// conflictGraph builds the block conflict graph. touched[b] is the set of
+// distinct columns below block b's start that its rows reference — exactly
+// the transpose-contribution writes leaving the block's own row range. For
+// i < j the write sets can only meet in two ways: block j's transpose writes
+// land inside block i's row range, or both blocks transpose-write a common
+// column. (Row ranges are disjoint, and touched[i] lies entirely below
+// Start[i] ≤ Start[j], so it cannot reach block j's rows.)
+func conflictGraph(part *partition.RowPartition, rowPtr, colIdx []int32, nb int) [][]int32 {
 	touched := make([][]int32, nb)
 	for b := 0; b < nb; b++ {
 		lo := part.Start[b]
@@ -101,11 +184,6 @@ func Build(n int, rowPtr, colIdx []int32, p int, opt Options) *Schedule {
 		touched[b] = sortDedup(cols)
 	}
 
-	// Conflict graph over blocks. For i < j the write sets can only meet in
-	// two ways: block j's transpose writes land inside block i's row range,
-	// or both blocks transpose-write a common column. (Row ranges are
-	// disjoint, and touched[i] lies entirely below Start[i] ≤ Start[j], so
-	// it cannot reach block j's rows.)
 	adj := make([][]int32, nb)
 	for i := 0; i < nb; i++ {
 		for j := i + 1; j < nb; j++ {
@@ -116,12 +194,16 @@ func Build(n int, rowPtr, colIdx []int32, p int, opt Options) *Schedule {
 			}
 		}
 	}
+	return adj
+}
 
-	// Greedy coloring in ascending block order — the bandwidth-aware order:
-	// blocks follow the row order, so on a banded (RCM-reordered) matrix
-	// every conflict reaches only a few preceding blocks and the first-fit
-	// walk reuses colors immediately, collapsing the count toward the local
-	// clique size instead of growing with p.
+// greedyColor is the first-fit walk in ascending block order — the
+// bandwidth-aware order: blocks follow the row order, so on a banded
+// (RCM-reordered) matrix every conflict reaches only a few preceding blocks
+// and the first-fit walk reuses colors immediately, collapsing the count
+// toward the local clique size instead of growing with p.
+func greedyColor(adj [][]int32) ([]int32, int) {
+	nb := len(adj)
 	colors := make([]int32, nb)
 	numColors := 0
 	used := make([]bool, 0, 8)
@@ -144,16 +226,218 @@ func Build(n int, rowPtr, colIdx []int32, p int, opt Options) *Schedule {
 			numColors = int(c) + 1
 		}
 	}
+	return colors, numColors
+}
 
-	sc := &Schedule{
-		P:         p,
-		NumBlocks: nb,
-		Part:      part,
-		Color:     colors,
-		NumColors: numColors,
+// recursiveColor is the RACE-style recursive algebraic coloring of the block
+// conflict graph.
+//
+// Greedy first-fit is only as good as its vertex order: on a scattered
+// matrix the ascending block order is essentially random, and a late block
+// whose earlier neighbors happen to occupy every low color is forced into a
+// new one even when the graph itself is nearly bipartite. The recursive
+// algorithm replaces the order, not the coloring rule. Per connected
+// component, a BFS from a minimum-degree vertex assigns every block a level
+// (its BFS distance); edges never span more than one level, so walking the
+// levels in order visits the graph the way a bandwidth-reducing reordering
+// would lay it out — the level structure recovers algebraically what RCM
+// would recover from the matrix, which is why no RCM pass is needed first.
+// A level whose induced subgraph still contains edges is ordered by
+// recursing on it (its own sub-level structure bisects it further); the
+// recursion terminates because level 0 is always a lone start vertex, so
+// every level is a strict subset of its component. One first-fit sweep over
+// the recursively built order then colors the graph: on a path-quotient
+// conflict graph (a scattered banded matrix) it restores the optimal 2–3
+// colors regardless of how the blocks were scrambled, and on
+// crown/ladder-shaped graphs that force natural-order first-fit into Θ(B)
+// colors it stays at 2.
+func recursiveColor(adj [][]int32) ([]int32, int) {
+	nb := len(adj)
+	colors := make([]int32, nb)
+	if nb == 0 {
+		return colors, 0
 	}
-	sc.assign(rowPtr)
-	return sc
+	verts := make([]int32, nb)
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	order := levelOrder(verts, adj)
+	colors, num := firstFitOrdered(order, adj)
+	return refineColors(colors, num, adj, 3)
+}
+
+// refineColors runs bounded color-compaction rounds: re-color with first-fit
+// processing the existing color classes from highest to lowest. Each class is
+// an independent set, so a round can never need more classes than it was
+// given — the count is non-increasing — while vertices of high classes get
+// first pick of low colors, merging classes the constructive pass left
+// fragmented. It converges quickly; three rounds capture nearly all of the
+// gain.
+func refineColors(colors []int32, num int, adj [][]int32, rounds int) ([]int32, int) {
+	for it := 0; it < rounds; it++ {
+		order := make([]int32, 0, len(adj))
+		for c := num - 1; c >= 0; c-- {
+			for v := range adj {
+				if colors[v] == int32(c) {
+					order = append(order, int32(v))
+				}
+			}
+		}
+		next, n := firstFitOrdered(order, adj)
+		if n >= num {
+			colors, num = next, n
+			break
+		}
+		colors, num = next, n
+	}
+	return colors, num
+}
+
+// levelOrder returns the vertices of the subgraph induced by verts in
+// recursive level-set order. adj must already be restricted to verts (the
+// top-level call passes the full graph; recursive calls pass induced
+// adjacency).
+func levelOrder(verts []int32, adj [][]int32) []int32 {
+	n := len(verts)
+	if n <= 1 {
+		return verts
+	}
+
+	// Level assignment: BFS per component from a minimum-degree start (the
+	// classic heuristic for long, thin level structures, which minimize
+	// same-level edges).
+	const unseen = int32(-1)
+	level := make(map[int32]int32, n)
+	inSet := make(map[int32]bool, n)
+	for _, v := range verts {
+		inSet[v] = true
+		level[v] = unseen
+	}
+	deg := func(v int32) int {
+		d := 0
+		for _, w := range adj[v] {
+			if inSet[w] {
+				d++
+			}
+		}
+		return d
+	}
+	var queue []int32
+	maxLevel := int32(0)
+	for {
+		// Next unvisited vertex of minimum degree seeds the next component.
+		start := int32(-1)
+		best := -1
+		for _, v := range verts {
+			if level[v] != unseen {
+				continue
+			}
+			if d := deg(v); start < 0 || d < best {
+				start, best = v, d
+			}
+		}
+		if start < 0 {
+			break
+		}
+		level[start] = 0
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if inSet[w] && level[w] == unseen {
+					level[w] = level[v] + 1
+					if level[w] > maxLevel {
+						maxLevel = level[w]
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	byLevel := make([][]int32, maxLevel+1)
+	for _, v := range verts {
+		byLevel[level[v]] = append(byLevel[level[v]], v)
+	}
+
+	order := make([]int32, 0, n)
+	for _, lv := range byLevel {
+		if levelHasEdges(lv, adj) {
+			// Strictly smaller than verts: level 0 is a lone start vertex in
+			// every component, so no level contains a whole component.
+			lv = levelOrder(lv, inducedAdj(lv, adj))
+		}
+		order = append(order, lv...)
+	}
+	return order
+}
+
+// firstFitOrdered runs the first-fit coloring rule along the given vertex
+// order over the full graph.
+func firstFitOrdered(order []int32, adj [][]int32) ([]int32, int) {
+	colors := make([]int32, len(adj))
+	for i := range colors {
+		colors[i] = -1
+	}
+	numColors := 0
+	var used []bool
+	for _, v := range order {
+		used = used[:0]
+		for len(used) < numColors+1 {
+			used = append(used, false)
+		}
+		for _, w := range adj[v] {
+			if colors[w] >= 0 {
+				used[colors[w]] = true
+			}
+		}
+		c := int32(0)
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if int(c)+1 > numColors {
+			numColors = int(c) + 1
+		}
+	}
+	return colors, numColors
+}
+
+// inducedAdj restricts adj to the subgraph induced by verts.
+func inducedAdj(verts []int32, adj [][]int32) [][]int32 {
+	inSet := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		inSet[v] = true
+	}
+	induced := make([][]int32, len(adj))
+	for _, v := range verts {
+		for _, w := range adj[v] {
+			if inSet[w] {
+				induced[v] = append(induced[v], w)
+			}
+		}
+	}
+	return induced
+}
+
+// levelHasEdges reports whether the subgraph induced by lv contains any edge.
+func levelHasEdges(lv []int32, adj [][]int32) bool {
+	if len(lv) < 2 {
+		return false
+	}
+	inSet := make(map[int32]bool, len(lv))
+	for _, v := range lv {
+		inSet[v] = true
+	}
+	for _, v := range lv {
+		for _, w := range adj[v] {
+			if inSet[w] {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // assign distributes each color's blocks across the threads with a greedy

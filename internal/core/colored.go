@@ -27,9 +27,12 @@ func (k *Kernel) assembleColored(dot []float64) []func(tid int) {
 	phases = append(phases, init)
 	for c := 0; c < k.sched.NumColors; c++ {
 		assign := k.sched.Assign[c]
-		if k.hubPlan != nil {
+		switch {
+		case k.hubPlan != nil:
 			phases = append(phases, func(tid int) { k.colorBlocksHubT(tid, assign[tid], k.curX, k.curY) })
-		} else {
+		case k.S.Kind != Sym:
+			phases = append(phases, func(tid int) { k.colorBlocksKindT(assign[tid], k.curX, k.curY) })
+		default:
 			phases = append(phases, func(tid int) { k.colorBlocksT(assign[tid], k.curX, k.curY) })
 		}
 	}
@@ -40,9 +43,17 @@ func (k *Kernel) assembleColored(dot []float64) []func(tid int) {
 }
 
 // diagInitT seeds thread tid's uniform row chunk with the diagonal
-// contribution, overwriting whatever the previous operation left in y.
+// contribution, overwriting whatever the previous operation left in y. A
+// Skew matrix has no DValues array at all — its diagonal is identically
+// zero — so the init writes plain zeros instead of reading through nil.
 func (k *Kernel) diagInitT(tid int, x, y []float64) {
 	s := k.S
+	if s.DValues == nil {
+		for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
+			y[r] = 0
+		}
+		return
+	}
 	for r := k.initPart.Start[tid]; r < k.initPart.End[tid]; r++ {
 		y[r] = s.DValues[r] * x[r]
 	}

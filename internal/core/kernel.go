@@ -166,7 +166,8 @@ type KernelOptions struct {
 func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 	k, err := NewKernelOpts(s, method, pool, KernelOptions{})
 	if err != nil {
-		// Unreachable: empty options never fail validation.
+		// Reachable only for Atomic over a non-Sym matrix; callers choosing
+		// that pairing deliberately should use NewKernelOpts.
 		panic(err)
 	}
 	return k
@@ -176,6 +177,17 @@ func NewKernel(s *SSS, method ReductionMethod, pool *parallel.Pool) *Kernel {
 // products. It validates the options against the matrix and method instead
 // of failing deep inside the pool.
 func NewKernelOpts(s *SSS, method ReductionMethod, pool *parallel.Pool, opts KernelOptions) (*Kernel, error) {
+	if s.Kind != Sym {
+		// The atomic ablation encodes the symmetric update in its CAS loop,
+		// and the hub bodies are specialized to the Sym scatter; neither has a
+		// kind-generalized variant. Everything else does (kinds.go).
+		if method == Atomic {
+			return nil, fmt.Errorf("core: the atomic method supports only symmetric matrices, got %s", s.Kind)
+		}
+		if opts.Hub != nil {
+			return nil, fmt.Errorf("core: hub caching supports only symmetric matrices, got %s", s.Kind)
+		}
+	}
 	if opts.Hub != nil {
 		if method == Atomic {
 			return nil, fmt.Errorf("core: hub caching is not supported by the atomic method")
@@ -222,7 +234,9 @@ func NewKernelOpts(s *SSS, method ReductionMethod, pool *parallel.Pool, opts Ker
 			touched = TouchedColumns(s, part, pool)
 		}
 		k.LV = NewLocalVectors(s.N, part, method, touched)
-		if d > 1 && !opts.FlatReduction {
+		// The hierarchical chain reuses the Sym multiply bodies directly, so
+		// non-Sym kinds fall back to the flat reduction on multi-domain pools.
+		if d > 1 && !opts.FlatReduction && s.Kind == Sym {
 			k.hier = newHierState(k, domPart)
 			xdomainBytes.Set(float64(k.hier.crossBytes))
 		}
@@ -336,7 +350,10 @@ func (k *Kernel) assembleFlat(dot []float64) []func(tid int) {
 	switch k.Method {
 	case Naive:
 		mult := func(tid int) { k.multiplyNaiveT(tid, k.curX) }
-		if k.hubPlan != nil {
+		switch {
+		case k.S.Kind != Sym:
+			mult = func(tid int) { k.multiplyNaiveKindT(tid, k.curX) }
+		case k.hubPlan != nil:
 			mult = func(tid int) { k.prefillHotT(tid, k.curX); k.multiplyNaiveHubT(tid, k.curX) }
 		}
 		if dot != nil {
@@ -346,7 +363,10 @@ func (k *Kernel) assembleFlat(dot []float64) []func(tid int) {
 		return []func(int){mult, func(tid int) { k.LV.reduceNaiveT(tid, k.curY) }}
 	case EffectiveRanges:
 		mult := func(tid int) { k.multiplyEffectiveT(tid, k.curX, k.curY) }
-		if k.hubPlan != nil {
+		switch {
+		case k.S.Kind != Sym:
+			mult = func(tid int) { k.multiplyEffectiveKindT(tid, k.curX, k.curY) }
+		case k.hubPlan != nil:
 			mult = func(tid int) { k.prefillHotT(tid, k.curX); k.multiplyEffectiveHubT(tid, k.curX, k.curY) }
 		}
 		if dot != nil {
@@ -356,7 +376,10 @@ func (k *Kernel) assembleFlat(dot []float64) []func(tid int) {
 		return []func(int){mult, func(tid int) { k.LV.reduceEffectiveT(tid, k.curY) }}
 	case Indexed:
 		mult := func(tid int) { k.multiplyEffectiveT(tid, k.curX, k.curY) }
-		if k.hubPlan != nil {
+		switch {
+		case k.S.Kind != Sym:
+			mult = func(tid int) { k.multiplyEffectiveKindT(tid, k.curX, k.curY) }
+		case k.hubPlan != nil:
 			mult = func(tid int) { k.prefillHotT(tid, k.curX); k.multiplyEffectiveHubT(tid, k.curX, k.curY) }
 		}
 		red := func(tid int) { k.LV.reduceIndexedT(tid, k.curY) }

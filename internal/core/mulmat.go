@@ -22,8 +22,13 @@ import (
 // in the same order as the scalar kernel, so each output column is bitwise
 // identical to a MulVec of the corresponding input column.
 
-// MulMat computes Y = A·X serially for nv interleaved vectors.
+// MulMat computes Y = A·X serially for nv interleaved vectors. Only
+// Kind=Sym matrices are supported: the SpMM bodies are specialized to the
+// symmetric scatter.
 func (s *SSS) MulMat(x, y []float64, nv int) {
+	if s.Kind != Sym {
+		panic(fmt.Sprintf("core: MulMat supports only symmetric matrices, got %s", s.Kind))
+	}
 	if nv < 1 {
 		panic(fmt.Sprintf("core: MulMat with %d vectors", nv))
 	}
@@ -81,6 +86,9 @@ func (k *Kernel) MulMat(x, y []float64, nv int) error {
 func (k *Kernel) checkMat(x, y []float64, nv int) error {
 	if k.Method == Atomic {
 		return fmt.Errorf("core: MulMat is not supported by the atomic method (its CAS accumulator is single-vector)")
+	}
+	if k.S.Kind != Sym {
+		return fmt.Errorf("core: MulMat supports only symmetric matrices, got %s (multi-RHS bodies have no kind-generalized variant)", k.S.Kind)
 	}
 	if nv < 1 {
 		return fmt.Errorf("core: MulMat with %d vectors", nv)

@@ -64,11 +64,13 @@ func (k *Kernel) Traffic() Traffic {
 
 	var t Traffic
 	// Matrix stream: lower values (8B) + column indices (4B) + row pointers
-	// (4B per row) + dense diagonal (8B per row).
-	t.MultMatrixBytes = 12*nnzLower + 4*n + 8*n
-	// Useful flops: diagonal contributes 2 flops per row (mul+add folded as
-	// 2), every stored lower element contributes 4 (two mul-add pairs).
-	t.MultFlops = 2*n + 4*nnzLower
+	// (4B per row) + dense diagonal (8B per stored slot — absent for Skew) +
+	// upper values (8B per stored slot — Structural only).
+	t.MultMatrixBytes = 12*nnzLower + 4*n + 8*int64(len(s.DValues)) + 8*int64(len(s.UVal))
+	// Useful flops: diagonal contributes 2 flops per stored slot (mul+add
+	// folded as 2), every stored lower element contributes 4 (two mul-add
+	// pairs; the skew sign flip and the structural UVal read cost no flops).
+	t.MultFlops = 2*int64(len(s.DValues)) + 4*nnzLower
 
 	// Vector traffic common to all methods: x is read (streamed once, n
 	// elements — reuse beyond that is the cache's job, which the platform
@@ -138,8 +140,8 @@ func SerialTraffic(s *SSS) Traffic {
 	n := int64(s.N)
 	nnzLower := int64(len(s.Val))
 	return Traffic{
-		MultMatrixBytes: 12*nnzLower + 4*n + 8*n,
+		MultMatrixBytes: 12*nnzLower + 4*n + 8*int64(len(s.DValues)) + 8*int64(len(s.UVal)),
 		MultVectorBytes: 16 * n, // x streamed + y written
-		MultFlops:       2*n + 4*nnzLower,
+		MultFlops:       2*int64(len(s.DValues)) + 4*nnzLower,
 	}
 }

@@ -56,6 +56,9 @@ func NewSym(s *core.SSS, beta int) (*SymMatrix, error) {
 	if beta < 16 || beta > 1<<16 {
 		return nil, fmt.Errorf("csb: beta %d out of [16, 65536]", beta)
 	}
+	if s.Kind != core.Sym {
+		return nil, fmt.Errorf("csb: only symmetric matrices are supported, got %s", s.Kind)
+	}
 	nb := (s.N + beta - 1) / beta
 	sm := &SymMatrix{
 		N: s.N, Beta: beta, NB: nb,

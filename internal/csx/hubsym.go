@@ -1,6 +1,8 @@
 package csx
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/hub"
 	"repro/internal/parallel"
@@ -34,6 +36,9 @@ type symHubSide struct {
 // elements in the plan's hub columns are routed to side streams instead of
 // the blobs. plan must come from hub.Analyze over s's structure.
 func NewSymHub(s *core.SSS, p int, method core.ReductionMethod, opts Options, plan *hub.Plan) *SymMatrix {
+	if s.Kind != core.Sym {
+		panic(fmt.Sprintf("csx: NewSymHub supports only symmetric matrices, got %s", s.Kind))
+	}
 	part := partition.ByNNZ(s.RowPtr, p)
 	sm := &SymMatrix{
 		N:        s.N,

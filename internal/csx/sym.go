@@ -42,6 +42,12 @@ type SymMatrix struct {
 // given local-vectors reduction method (the paper pairs CSX-Sym with the
 // indexed reduction; Naive/EffectiveRanges are supported for ablations).
 func NewSym(s *core.SSS, p int, method core.ReductionMethod, opts Options) *SymMatrix {
+	if s.Kind != core.Sym {
+		// The CSX-Sym encoder bakes the symmetric scatter into its unit
+		// bodies; encoding a skew or structural matrix would silently compute
+		// the wrong operator.
+		panic(fmt.Sprintf("csx: NewSym supports only symmetric matrices, got %s", s.Kind))
+	}
 	part := partition.ByNNZ(s.RowPtr, p)
 	sm := &SymMatrix{
 		N:        s.N,

@@ -9,7 +9,8 @@ import (
 
 // Reference computes y = A·x with a trusted serial dense sweep, plus the
 // per-element magnitude sum scale_i = Σ_j |A_ij|·|x_j| over the full
-// symmetric operator. The dense expansion deliberately shares no code with
+// operator (symmetric mirrors +v, skew-symmetric mirrors −v, general input
+// is taken as stored). The dense expansion deliberately shares no code with
 // any kernel under test: duplicates are summed into the dense array first
 // (matching the Normalize step every format builder runs), then a plain
 // row-major dense multiply produces the reference.
@@ -28,7 +29,11 @@ func Reference(m *matrix.COO, x []float64) (y, scale []float64) {
 		r, c, v := int(m.RowIdx[k]), int(m.ColIdx[k]), m.Val[k]
 		dense[r*n+c] += v
 		if m.Symmetric && r != c {
-			dense[c*n+r] += v
+			if m.Skew {
+				dense[c*n+r] -= v
+			} else {
+				dense[c*n+r] += v
+			}
 		}
 	}
 	y = make([]float64, n)
@@ -61,7 +66,11 @@ func ReferenceMat(m *matrix.COO, x []float64, nv int) (y, scale []float64) {
 		r, c, v := int(m.RowIdx[k]), int(m.ColIdx[k]), m.Val[k]
 		dense[r*n+c] += v
 		if m.Symmetric && r != c {
-			dense[c*n+r] += v
+			if m.Skew {
+				dense[c*n+r] -= v
+			} else {
+				dense[c*n+r] += v
+			}
 		}
 	}
 	y = make([]float64, n*nv)

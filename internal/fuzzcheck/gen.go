@@ -243,10 +243,170 @@ func AdversarialSuite() []Case {
 	return cases
 }
 
+// KindSuite returns the adversarial taxonomy for the non-symmetric kinds:
+// skew-symmetric matrices (Symmetric+Skew lower storage) and structurally
+// symmetric ones (general storage, mirrored pattern, unmirrored values).
+// The shapes mirror AdversarialSuite's sensitivities — tiny N below the
+// thread counts, empty rows, extreme bandwidth, explicit zeros (for skew:
+// explicit zero diagonal entries, the one diagonal a skew file may carry),
+// and denormal/huge value mixes — because the kind-generalized kernel bodies
+// share the symmetric bodies' partition and reduction machinery.
+func KindSuite() []Case {
+	var cases []Case
+	add := func(name string, m *matrix.COO) {
+		cases = append(cases, Case{Name: name, M: m})
+	}
+
+	// Tiny skew matrices, smaller than the largest thread count.
+	for _, n := range []int{2, 3, 5, 7} {
+		rng := rand.New(rand.NewSource(int64(1200 + n)))
+		m := skew(n, n*3)
+		for r := 1; r < n; r++ {
+			for c := 0; c < r; c++ {
+				if rng.Intn(2) == 0 {
+					m.Add(r, c, rng.NormFloat64())
+				}
+			}
+		}
+		add("skew-tiny-"+itoa(n), m)
+	}
+
+	// Explicit zero diagonal entries: the only diagonal a skew matrix may
+	// store. The ingestion path must accept them and the kernels must still
+	// write y[r] = 0 rather than read a diagonal that is not there.
+	m := skew(40, 160)
+	rng := rand.New(rand.NewSource(1301))
+	for r := 0; r < 40; r++ {
+		m.Add(r, r, 0)
+		if r > 0 {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	add("skew-zero-diag-40", m)
+
+	// Empty rows (no entries at all) between populated bands.
+	m = skew(97, 200)
+	rng = rand.New(rand.NewSource(1401))
+	for r := 1; r < 97; r++ {
+		if (r >= 10 && r <= 20) || r >= 50 {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	add("skew-empty-rows-97", m)
+
+	// Extreme bandwidth: every row reaches back to column 0, with a
+	// partially cancelling duplicate in the far corner.
+	m = skew(200, 240)
+	for r := 1; r < 200; r++ {
+		m.Add(r, 0, 1)
+	}
+	m.Add(199, 0, -0.25)
+	add("skew-extreme-bandwidth-200", m)
+
+	// Denormals and huge values: the transposed −v stream must keep the
+	// same magnitude account as the symmetric +v one.
+	m = skew(64, 300)
+	rng = rand.New(rand.NewSource(1501))
+	vals := []float64{5e-324, 1e-310, 1e150, -1e150, 1e-150}
+	for r := 1; r < 64; r++ {
+		for k := 0; k < 2; k++ {
+			m.Add(r, rng.Intn(r), vals[rng.Intn(len(vals))])
+		}
+	}
+	add("skew-mixed-magnitude-64", m)
+
+	// Tiny structural matrices.
+	for _, n := range []int{2, 3, 5, 7} {
+		rng := rand.New(rand.NewSource(int64(1600 + n)))
+		m := general(n, n*4)
+		for r := 0; r < n; r++ {
+			m.Add(r, r, float64(n)+1)
+		}
+		for r := 1; r < n; r++ {
+			for c := 0; c < r; c++ {
+				if rng.Intn(2) == 0 {
+					m.Add(r, c, rng.NormFloat64())
+					m.Add(c, r, rng.NormFloat64())
+				}
+			}
+		}
+		add("structural-tiny-"+itoa(n), m)
+	}
+
+	// Structural with empty rows and a partial diagonal: rows 30–60 hold
+	// nothing, several diagonal slots are absent.
+	m = general(97, 300)
+	rng = rand.New(rand.NewSource(1701))
+	for r := 0; r < 97; r++ {
+		if r >= 30 && r <= 60 {
+			continue
+		}
+		if r%3 != 0 {
+			m.Add(r, r, 5)
+		}
+		if r > 0 && r < 30 {
+			c := rng.Intn(r)
+			m.Add(r, c, rng.NormFloat64())
+			m.Add(c, r, rng.NormFloat64())
+		}
+	}
+	add("structural-empty-rows-97", m)
+
+	// Structural banded: long mirrored runs with independent values per
+	// triangle, plus explicit zeros on one side only (the pattern mirrors,
+	// the values need not).
+	m = general(160, 160*8)
+	rng = rand.New(rand.NewSource(1801))
+	for r := 0; r < 160; r++ {
+		m.Add(r, r, 20)
+		for d := 1; d <= 4 && r-d >= 0; d++ {
+			lo := rng.NormFloat64()
+			if d == 3 {
+				lo = 0 // explicit zero below, nonzero mirror above
+			}
+			m.Add(r, r-d, lo)
+			m.Add(r-d, r, 1+rng.Float64())
+		}
+	}
+	add("structural-banded-160", m)
+
+	// Structural hub: columns 0–2 are touched by nearly every row in both
+	// triangles — the degree-skew shape, minus the hub option (which the
+	// kinds reject).
+	m = general(120, 120*7)
+	rng = rand.New(rand.NewSource(1901))
+	for r := 0; r < 120; r++ {
+		m.Add(r, r, 500)
+		for h := 0; h < 3 && h < r; h++ {
+			m.Add(r, h, rng.NormFloat64())
+			m.Add(h, r, rng.NormFloat64())
+		}
+	}
+	add("structural-hub-120", m)
+
+	for _, c := range cases {
+		c.M.Normalize()
+	}
+	return cases
+}
+
 func sym(n, nnzHint int) *matrix.COO {
 	m := matrix.NewCOO(n, n, nnzHint)
 	m.Symmetric = true
 	return m
+}
+
+func skew(n, nnzHint int) *matrix.COO {
+	m := sym(n, nnzHint)
+	m.Skew = true
+	return m
+}
+
+func general(n, nnzHint int) *matrix.COO {
+	return matrix.NewCOO(n, n, nnzHint)
 }
 
 func itoa(n int) string {

@@ -42,6 +42,14 @@ const (
 	// degree skew that x-access hub caching exploits. Not part of Table I —
 	// see HubSuite.
 	PowerLawGraph
+	// ScatteredBand is a banded matrix whose rows have been cut into
+	// contiguous segments and the segments shuffled: locally banded, globally
+	// scattered. RCM recovers the band, but the point of the class is what
+	// happens without RCM — the block conflict graph stays sparse (a quotient
+	// of the segment chain) while the block order is scrambled, which is
+	// exactly where first-fit coloring degenerates and the recursive
+	// algebraic coloring does not. Not part of Table I — see ScatterSuite.
+	ScatteredBand
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +63,8 @@ func (k Kind) String() string {
 		return "blocked-structural"
 	case PowerLawGraph:
 		return "power-law-graph"
+	case ScatteredBand:
+		return "scattered-band"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -75,6 +85,9 @@ type Spec struct {
 	// Stencil parameters.
 	ExtraPerRow int  // additional random grid-local couplings per vertex
 	Scramble    bool // randomly permute vertex labels (true for the corner cases)
+
+	// ScatteredBand parameters.
+	SegmentLen int // rows per shuffled segment (default 400)
 }
 
 // AvgNNZRow reports the paper's logical nonzeros per row for the spec.
@@ -106,16 +119,23 @@ var HubSuite = []Spec{
 	{Name: "powerlaw-m", Problem: "Graph", Rows: 400000, NNZ: 5200000, Kind: PowerLawGraph},
 }
 
-// SpecByName looks up a PaperSuite or HubSuite entry.
+// ScatterSuite lists synthetic scattered matrices beyond Table I: banded
+// structure hidden behind a segment shuffle. They are the coloring stress
+// class — greedy first-fit depends on block order and degenerates here,
+// while the recursive algebraic coloring recovers the band's level structure
+// from the conflict graph alone.
+var ScatterSuite = []Spec{
+	{Name: "scattered-band", Problem: "Synthetic", Rows: 50000, NNZ: 450000, Kind: ScatteredBand, SegmentLen: 400},
+	{Name: "scattered-band-l", Problem: "Synthetic", Rows: 200000, NNZ: 1800000, Kind: ScatteredBand, SegmentLen: 1600},
+}
+
+// SpecByName looks up a PaperSuite, HubSuite, or ScatterSuite entry.
 func SpecByName(name string) (Spec, error) {
-	for _, s := range PaperSuite {
-		if s.Name == name {
-			return s, nil
-		}
-	}
-	for _, s := range HubSuite {
-		if s.Name == name {
-			return s, nil
+	for _, suite := range [][]Spec{PaperSuite, HubSuite, ScatterSuite} {
+		for _, s := range suite {
+			if s.Name == name {
+				return s, nil
+			}
 		}
 	}
 	return Spec{}, fmt.Errorf("gen: unknown suite matrix %q", name)
@@ -143,6 +163,8 @@ func Generate(spec Spec, scale float64) (*matrix.COO, error) {
 		m = genBlocked(rng, rows, spec.BlockSize, spec.AvgNNZRow(), spec.BandFrac)
 	case PowerLawGraph:
 		m = genPowerLaw(rng, rows, spec.AvgNNZRow())
+	case ScatteredBand:
+		m = genScatteredBand(rng, rows, spec.AvgNNZRow(), spec.SegmentLen)
 	default:
 		return nil, fmt.Errorf("gen: unknown kind %v", spec.Kind)
 	}
@@ -446,6 +468,48 @@ func genPowerLaw(rng *rand.Rand, n int, targetNNZRow float64) *matrix.COO {
 			seen[w] = true
 			addSymEdge(m, v, w, rng)
 			ends = append(ends, int32(v), int32(w))
+		}
+	}
+	return m
+}
+
+// genScatteredBand builds a banded matrix (half-bandwidth derived from the
+// logical nnz/row target) in its natural order, cuts the rows into
+// contiguous segments of segLen rows, and shuffles the segment order. The
+// operator is the permuted band: each row still couples only to its
+// neighbors in the original chain, so the structure is locally dense and
+// globally scattered — bandwidth under the shuffled labels is huge, yet RCM
+// (or, for the colored schedule, the conflict-graph level sets) recovers the
+// chain exactly.
+func genScatteredBand(rng *rand.Rand, n int, targetNNZRow float64, segLen int) *matrix.COO {
+	bw := int(math.Round((targetNNZRow - 1) / 2))
+	if bw < 1 {
+		bw = 1
+	}
+	if segLen <= 0 {
+		segLen = 400
+	}
+	nseg := (n + segLen - 1) / segLen
+	order := rng.Perm(nseg)
+	// newPos[origRow] = shuffled row index.
+	newPos := make([]int, n)
+	pos := 0
+	for _, s := range order {
+		lo := s * segLen
+		hi := lo + segLen
+		if hi > n {
+			hi = n
+		}
+		for r := lo; r < hi; r++ {
+			newPos[r] = pos
+			pos++
+		}
+	}
+	m := matrix.NewCOO(n, n, n*(bw+1))
+	m.Symmetric = true
+	for i := 0; i < n; i++ {
+		for d := 1; d <= bw && i-d >= 0; d++ {
+			addSymEdge(m, newPos[i], newPos[i-d], rng)
 		}
 	}
 	return m

@@ -23,6 +23,11 @@ type COO struct {
 	// Symmetric marks the matrix as symmetric with only the lower triangle
 	// (col <= row) stored. Structural formats (SSS, CSX-Sym) require it.
 	Symmetric bool
+	// Skew refines Symmetric: the stored lower triangle implies the upper
+	// triangle with flipped sign (A = -Aᵀ), and every diagonal entry is
+	// identically zero. Skew is only meaningful together with Symmetric —
+	// the storage convention (lower triangle, col <= row) is shared.
+	Skew bool
 
 	RowIdx []int32
 	ColIdx []int32
@@ -79,7 +84,7 @@ func (m *COO) Add(r, c int, v float64) {
 // Clone returns a deep copy.
 func (m *COO) Clone() *COO {
 	c := &COO{
-		Rows: m.Rows, Cols: m.Cols, Symmetric: m.Symmetric,
+		Rows: m.Rows, Cols: m.Cols, Symmetric: m.Symmetric, Skew: m.Skew,
 		RowIdx: append([]int32(nil), m.RowIdx...),
 		ColIdx: append([]int32(nil), m.ColIdx...),
 		Val:    append([]float64(nil), m.Val...),
@@ -163,7 +168,11 @@ func (m *COO) ToGeneral() *COO {
 		out.Add(r, c, m.Val[k])
 		if m.Symmetric && r != c {
 			// mirrored entry: note out is not Symmetric, so Add allows it
-			out.Add(c, r, m.Val[k])
+			v := m.Val[k]
+			if m.Skew {
+				v = -v
+			}
+			out.Add(c, r, v)
 		}
 	}
 	out.Symmetric = false
@@ -185,7 +194,11 @@ func (m *COO) MulVec(x, y []float64) {
 		r, c, v := m.RowIdx[k], m.ColIdx[k], m.Val[k]
 		y[r] += v * x[c]
 		if m.Symmetric && r != c {
-			y[c] += v * x[r]
+			if m.Skew {
+				y[c] -= v * x[r]
+			} else {
+				y[c] += v * x[r]
+			}
 		}
 	}
 }
@@ -203,13 +216,20 @@ func (m *COO) Permute(perm []int32) (*COO, error) {
 	}
 	out := NewCOO(m.Rows, m.Cols, m.NNZ())
 	out.Symmetric = m.Symmetric
+	out.Skew = m.Skew
 	for k := range m.Val {
 		r := perm[m.RowIdx[k]]
 		c := perm[m.ColIdx[k]]
+		v := m.Val[k]
 		if m.Symmetric && c > r {
 			r, c = c, r
+			if m.Skew {
+				// The stored entry crossed the diagonal: what we store at
+				// (r,c) is now the implied mirror, whose sign is flipped.
+				v = -v
+			}
 		}
-		out.Add(int(r), int(c), m.Val[k])
+		out.Add(int(r), int(c), v)
 	}
 	return out.Normalize(), nil
 }
@@ -227,6 +247,9 @@ func (m *COO) Validate() error {
 	if m.Symmetric && m.Rows != m.Cols {
 		return fmt.Errorf("matrix: symmetric flag on %dx%d non-square matrix", m.Rows, m.Cols)
 	}
+	if m.Skew && !m.Symmetric {
+		return fmt.Errorf("matrix: skew flag without symmetric lower-triangular storage")
+	}
 	for k := range m.Val {
 		r, c := m.RowIdx[k], m.ColIdx[k]
 		if r < 0 || int(r) >= m.Rows || c < 0 || int(c) >= m.Cols {
@@ -235,6 +258,67 @@ func (m *COO) Validate() error {
 		if m.Symmetric && c > r {
 			return fmt.Errorf("matrix: entry %d at (%d,%d) in upper triangle of symmetric matrix", k, r, c)
 		}
+		if m.Skew && r == c && m.Val[k] != 0 {
+			return fmt.Errorf("matrix: entry %d: nonzero diagonal value %g in skew-symmetric matrix", k, m.Val[k])
+		}
 	}
 	return nil
+}
+
+// PatternSymmetric reports whether a general (non-Symmetric) square COO has a
+// structurally symmetric sparsity pattern: entry (r,c) present iff (c,r) is.
+// Values are ignored — this is the admission test for the
+// structurally-symmetric SSS kernel, which shares one index structure between
+// the two triangles while keeping separate value arrays. The receiver must be
+// normalized.
+func (m *COO) PatternSymmetric() bool {
+	if m.Symmetric || m.Rows != m.Cols || !m.IsNormalized() {
+		return m.Symmetric
+	}
+	// Count entries per triangle first: a cheap reject before the search.
+	lower, upper := 0, 0
+	for k := range m.Val {
+		switch {
+		case m.RowIdx[k] > m.ColIdx[k]:
+			lower++
+		case m.RowIdx[k] < m.ColIdx[k]:
+			upper++
+		}
+	}
+	if lower != upper {
+		return false
+	}
+	// Build row pointers once, then binary-search the mirror of every strictly
+	// lower entry.
+	rowPtr := make([]int32, m.Rows+1)
+	for k := range m.Val {
+		rowPtr[m.RowIdx[k]+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	for k := range m.Val {
+		r, c := m.RowIdx[k], m.ColIdx[k]
+		if r <= c {
+			continue
+		}
+		lo, hi := rowPtr[c], rowPtr[c+1]
+		found := false
+		for lo < hi {
+			mid := (lo + hi) / 2
+			switch {
+			case m.ColIdx[mid] < r:
+				lo = mid + 1
+			case m.ColIdx[mid] > r:
+				hi = mid
+			default:
+				found = true
+				lo = hi
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }

@@ -14,11 +14,14 @@ import (
 // Florida collection distributes, which the paper's suite comes from).
 // Supported object/format/field/symmetry combinations:
 //
-//	matrix coordinate real|integer|pattern general|symmetric
+//	matrix coordinate real|integer|pattern general|symmetric|skew-symmetric
 //
 // Pattern matrices read with all values set to 1. Symmetric files load into
 // lower-triangular symmetric COO storage, exactly as the UF collection stores
-// them.
+// them. Skew-symmetric files load the same way with COO.Skew set; their
+// diagonal must be absent or explicitly zero (A = -Aᵀ forces a_ii = 0), and
+// stray upper-triangle entries mirror down with flipped sign — the plain
+// symmetric mirror would silently corrupt skew values.
 
 // ReadMatrixMarket parses a Matrix Market stream into a normalized COO.
 //
@@ -65,9 +68,14 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 		return nil, fmt.Errorf("matrixmarket: unsupported field %q", field)
 	}
 	switch symmetry {
-	case "general", "symmetric":
+	case "general", "symmetric", "skew-symmetric":
 	default:
 		return nil, fmt.Errorf("matrixmarket: unsupported symmetry %q", symmetry)
+	}
+	if symmetry == "skew-symmetric" && field == "pattern" {
+		// A pattern file has no values to negate; the combination is
+		// meaningless (and the MM spec excludes it).
+		return nil, fmt.Errorf("matrixmarket: skew-symmetric pattern matrices are not defined")
 	}
 
 	// Skip comments, read the size line.
@@ -108,9 +116,10 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 		hint = 1 << 20
 	}
 	m := NewCOO(rows, cols, hint)
-	m.Symmetric = symmetry == "symmetric"
+	m.Symmetric = symmetry == "symmetric" || symmetry == "skew-symmetric"
+	m.Skew = symmetry == "skew-symmetric"
 	if m.Symmetric && rows != cols {
-		return nil, fmt.Errorf("matrixmarket: symmetric %dx%d matrix is not square", rows, cols)
+		return nil, fmt.Errorf("matrixmarket: %s %dx%d matrix is not square", symmetry, rows, cols)
 	}
 
 	read := 0
@@ -153,10 +162,20 @@ func ReadMatrixMarket(r io.Reader) (*COO, error) {
 		if r0 < 0 || r0 >= rows || c0 < 0 || c0 >= cols {
 			return nil, fmt.Errorf("matrixmarket: line %d: entry (%d,%d) outside %dx%d", lineno, r1, c1, rows, cols)
 		}
+		if m.Skew && r0 == c0 && v != 0 {
+			// A = -Aᵀ forces a zero diagonal; a nonzero diagonal entry means
+			// the file is mislabeled, not merely untidy.
+			return nil, fmt.Errorf("matrixmarket: line %d: nonzero diagonal entry (%d,%d)=%g in skew-symmetric matrix", lineno, r1, c1, v)
+		}
 		if m.Symmetric && c0 > r0 {
 			// UF symmetric files store the lower triangle, but be liberal:
-			// mirror stray upper entries down.
+			// mirror stray upper entries down. For skew files the mirror is
+			// the negation — copying the value unchanged would silently
+			// corrupt it.
 			r0, c0 = c0, r0
+			if m.Skew {
+				v = -v
+			}
 		}
 		m.Add(r0, c0, v)
 		read++
@@ -180,12 +199,16 @@ func scanErr(sc *bufio.Scanner) error {
 }
 
 // WriteMatrixMarket writes m in Matrix Market coordinate real format,
-// using the symmetric qualifier for lower-triangular symmetric storage.
+// using the symmetric (or skew-symmetric) qualifier for lower-triangular
+// symmetric storage, so read→write→read round-trips the qualifier exactly.
 func WriteMatrixMarket(w io.Writer, m *COO) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	sym := "general"
 	if m.Symmetric {
 		sym = "symmetric"
+		if m.Skew {
+			sym = "skew-symmetric"
+		}
 	}
 	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real %s\n", sym); err != nil {
 		return err

@@ -1,0 +1,228 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketSkew(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 3
+2 1 1.5
+3 1 -2.25
+3 2 0.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Symmetric || !m.Skew {
+		t.Fatalf("sym=%v skew=%v", m.Symmetric, m.Skew)
+	}
+	if m.LogicalNNZ() != 6 {
+		t.Fatalf("logical nnz = %d, want 6", m.LogicalNNZ())
+	}
+	// The implied operator: check via MulVec against the hand-expanded dense.
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	m.MulVec(x, y)
+	// A = [[0,-1.5,2.25],[1.5,0,-0.5],[-2.25,0.5,0]]
+	want := []float64{-1.5*2 + 2.25*3, 1.5*1 - 0.5*3, -2.25*1 + 0.5*2}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-15 {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestReadMatrixMarketSkewStrayUpperMirror(t *testing.T) {
+	// An upper-triangle entry in a skew file must mirror down with flipped
+	// sign: (1,2)=4 means A[0][1]=4, so the stored lower entry is
+	// A[1][0]=-4.
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+1 2 4
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || m.RowIdx[0] != 1 || m.ColIdx[0] != 0 || m.Val[0] != -4 {
+		t.Fatalf("stray upper entry stored as (%d,%d)=%g, want (1,0)=-4",
+			m.RowIdx[0], m.ColIdx[0], m.Val[0])
+	}
+}
+
+func TestReadMatrixMarketSkewExplicitZeroDiagonal(t *testing.T) {
+	// The MM convention omits the diagonal of skew files, but explicit zeros
+	// are legal input and must be preserved.
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 2
+1 1 0
+2 1 3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.Val[0] != 0 || m.RowIdx[0] != 0 || m.ColIdx[0] != 0 {
+		t.Fatalf("explicit zero diagonal not preserved: %v %v %v", m.RowIdx, m.ColIdx, m.Val)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMatrixMarketSkewRejectsNonzeroDiagonal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+1 1 5
+`
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for nonzero diagonal in skew-symmetric file")
+	}
+}
+
+func TestReadMatrixMarketSkewRejectsPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern skew-symmetric
+2 2 1
+2 1
+`
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for skew-symmetric pattern file")
+	}
+}
+
+func TestMatrixMarketSkewRoundTripBitExact(t *testing.T) {
+	// read → write → read must reproduce the qualifier and every triplet
+	// bit-exactly (%.17g round-trips float64).
+	rng := rand.New(rand.NewSource(47))
+	m := NewCOO(40, 40, 160)
+	m.Symmetric = true
+	m.Skew = true
+	for r := 1; r < 40; r++ {
+		for k := 0; k < 3; k++ {
+			m.Add(r, rng.Intn(r), rng.NormFloat64())
+		}
+	}
+	m.Add(7, 7, 0) // explicit zero diagonal entry
+	m.Normalize()
+
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket matrix coordinate real skew-symmetric\n") {
+		t.Fatalf("header does not carry the skew-symmetric qualifier: %q",
+			strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	first := buf.String()
+
+	back, err := ReadMatrixMarket(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Skew || !back.Symmetric || back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip lost shape: skew=%v sym=%v nnz=%d", back.Skew, back.Symmetric, back.NNZ())
+	}
+	for k := range m.Val {
+		if back.RowIdx[k] != m.RowIdx[k] || back.ColIdx[k] != m.ColIdx[k] ||
+			math.Float64bits(back.Val[k]) != math.Float64bits(m.Val[k]) {
+			t.Fatalf("entry %d differs after round trip: (%d,%d,%g) vs (%d,%d,%g)",
+				k, back.RowIdx[k], back.ColIdx[k], back.Val[k],
+				m.RowIdx[k], m.ColIdx[k], m.Val[k])
+		}
+	}
+
+	// Second write must be byte-identical to the first.
+	var buf2 bytes.Buffer
+	if err := WriteMatrixMarket(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatal("second write differs byte-for-byte from the first")
+	}
+}
+
+func TestSkewToGeneralAndPermute(t *testing.T) {
+	m := NewCOO(4, 4, 4)
+	m.Symmetric, m.Skew = true, true
+	m.Add(1, 0, 2)
+	m.Add(3, 2, -1.5)
+	m.Add(2, 0, 0.25)
+	m.Normalize()
+
+	g := m.ToGeneral()
+	if g.NNZ() != 6 {
+		t.Fatalf("general nnz = %d, want 6", g.NNZ())
+	}
+	// Dense check: G must equal -Gᵀ.
+	dense := make([]float64, 16)
+	for k := range g.Val {
+		dense[int(g.RowIdx[k])*4+int(g.ColIdx[k])] = g.Val[k]
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if dense[i*4+j] != -dense[j*4+i] {
+				t.Fatalf("ToGeneral not skew at (%d,%d): %g vs %g", i, j, dense[i*4+j], dense[j*4+i])
+			}
+		}
+	}
+
+	// Permute must preserve the operator: compare MulVec before and after on
+	// permuted vectors.
+	perm := []int32{2, 0, 3, 1}
+	p, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -1, 2, 3}
+	y := make([]float64, 4)
+	m.MulVec(x, y)
+	px := make([]float64, 4)
+	for i, ni := range perm {
+		px[ni] = x[i]
+	}
+	py := make([]float64, 4)
+	p.MulVec(px, py)
+	for i, ni := range perm {
+		if math.Abs(py[ni]-y[i]) > 1e-15 {
+			t.Fatalf("permuted operator differs at row %d: %g vs %g", i, py[ni], y[i])
+		}
+	}
+}
+
+func TestPatternSymmetric(t *testing.T) {
+	g := NewCOO(3, 3, 6)
+	g.Add(0, 1, 2)
+	g.Add(1, 0, 5) // different value, same pattern
+	g.Add(1, 1, 1)
+	g.Add(2, 0, 3)
+	g.Add(0, 2, -7)
+	g.Normalize()
+	if !g.PatternSymmetric() {
+		t.Fatal("pattern-symmetric matrix not detected")
+	}
+	g2 := NewCOO(3, 3, 3)
+	g2.Add(0, 1, 2)
+	g2.Add(1, 1, 1)
+	g2.Normalize()
+	if g2.PatternSymmetric() {
+		t.Fatal("asymmetric pattern wrongly accepted")
+	}
+	g3 := NewCOO(3, 3, 4)
+	g3.Add(0, 1, 1)
+	g3.Add(1, 2, 1)
+	g3.Add(1, 0, 1)
+	g3.Add(0, 2, 1) // lower/upper counts match but mirrors don't
+	g3.Normalize()
+	if g3.PatternSymmetric() {
+		t.Fatal("count-balanced asymmetric pattern wrongly accepted")
+	}
+}

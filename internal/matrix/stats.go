@@ -10,6 +10,8 @@ type Stats struct {
 	NNZ        int // stored entries
 	LogicalNNZ int // nonzeros of the represented operator
 	Symmetric  bool
+	Skew       bool // with Symmetric: A = -Aᵀ, no diagonal stored
+	PatternSym bool // general storage whose sparsity pattern mirrors (structural symmetry)
 
 	Bandwidth    int     // max |r - c| over stored entries
 	AvgBandwidth float64 // mean |r - c| over stored entries
@@ -33,7 +35,11 @@ func ComputeStats(m *COO) Stats {
 		Rows: m.Rows, Cols: m.Cols,
 		NNZ: m.NNZ(), LogicalNNZ: m.LogicalNNZ(),
 		Symmetric: m.Symmetric,
+		Skew:      m.Skew,
 		MinRowNNZ: int(^uint(0) >> 1),
+	}
+	if !m.Symmetric && m.Rows == m.Cols && m.IsNormalized() {
+		s.PatternSym = m.PatternSymmetric()
 	}
 	rowCount := make([]int32, m.Rows)
 	colCount := make([]int32, m.Cols)
@@ -101,8 +107,13 @@ func ComputeStats(m *COO) Stats {
 // String renders a compact single-matrix report (mtx-info output).
 func (s Stats) String() string {
 	kind := "general"
-	if s.Symmetric {
+	switch {
+	case s.Symmetric && s.Skew:
+		kind = "skew-symmetric (lower stored)"
+	case s.Symmetric:
 		kind = "symmetric (lower stored)"
+	case s.PatternSym:
+		kind = "structurally symmetric (general stored)"
 	}
 	return fmt.Sprintf(
 		"%dx%d %s, nnz=%d (logical %d), bw=%d (avg %.1f), rows nnz min/avg/max=%d/%.1f/%d, empty=%d, CSR=%s, SSS=%s",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cg"
+	"repro/internal/core"
 )
 
 // MulMatError is the typed error MulMat and SolveCGBlock return when a
@@ -98,6 +99,12 @@ func SolveCGBlock(k Kernel, b, x []float64, nv int, opts CGOptions) (CGBlockResu
 	bk, err := checkMulMat(k, len(b), len(x), nv)
 	if err != nil {
 		return CGBlockResult{}, err
+	}
+	if bk.kind != core.Sym {
+		// Same SPD requirement as SolveCG: a skew or structural operator can
+		// never drive the CG recurrence.
+		return CGBlockResult{}, &MulMatError{Format: bk.format, NV: nv,
+			Reason: fmt.Sprintf("CG requires a symmetric positive definite operator, got a %s matrix", bk.kind)}
 	}
 	release, aerr := bk.acquire("SolveCGBlock")
 	if aerr != nil {

@@ -112,7 +112,12 @@ func (f Format) String() string {
 	}
 }
 
-// Matrix is an immutable symmetric sparse matrix (lower triangle stored).
+// Matrix is an immutable sparse matrix in one of three symmetry classes:
+// symmetric (lower triangle stored, the package's main subject),
+// skew-symmetric (A = −Aᵀ: same lower-triangle storage, no diagonal), or
+// structurally symmetric (A ≠ Aᵀ but the pattern mirrors: one index
+// structure, two value arrays). SymmetryClass reports which; the class
+// decides which formats Kernel accepts and whether the CG solves apply.
 type Matrix struct {
 	coo *matrix.COO
 	sss *core.SSS
@@ -121,7 +126,11 @@ type Matrix struct {
 // N returns the matrix dimension.
 func (a *Matrix) N() int { return a.sss.N }
 
-// NNZ returns the logical nonzeros of the full symmetric operator.
+// SymmetryClass reports the matrix's symmetry class: "symmetric",
+// "skew-symmetric", or "structurally-symmetric".
+func (a *Matrix) SymmetryClass() string { return a.sss.Kind.String() }
+
+// NNZ returns the logical nonzeros of the full operator.
 func (a *Matrix) NNZ() int { return a.sss.LogicalNNZ() }
 
 // Stats returns structural statistics (bandwidth, per-row counts, sizes).
@@ -176,34 +185,62 @@ func fromCOO(c *matrix.COO) (*Matrix, error) {
 	return &Matrix{coo: c, sss: s}, nil
 }
 
-// ReadMatrixMarket loads a symmetric matrix from a Matrix Market stream.
-// General (unsymmetric) files are accepted if numerically symmetric in
-// pattern terms: the lower triangle is taken.
+// fromGeneral classifies a general (non-Symmetric) COO. A structurally
+// symmetric pattern whose values do not mirror becomes a
+// structurally-symmetric Matrix (general COO kept, SSS with a second value
+// array); everything else keeps the historical contract of taking the lower
+// triangle. Numerically symmetric files land on the plain symmetric path —
+// the structural kernel would compute the same operator at 8 extra bytes
+// per element.
+func fromGeneral(c *matrix.COO) (*Matrix, error) {
+	c.Normalize()
+	if c.PatternSymmetric() {
+		if s, err := core.FromCOOStructural(c); err == nil {
+			mirror := true
+			for j := range s.Val {
+				if s.Val[j] != s.UVal[j] {
+					mirror = false
+					break
+				}
+			}
+			if !mirror {
+				return &Matrix{coo: c, sss: s}, nil
+			}
+		}
+	}
+	sym, err := c.ToLowerSymmetric()
+	if err != nil {
+		return nil, err
+	}
+	return fromCOO(sym)
+}
+
+// ReadMatrixMarket loads a matrix from a Matrix Market stream. Symmetric and
+// skew-symmetric headers map straight onto the lower-triangle core. General
+// files are classified: numerically symmetric ones take the lower triangle
+// (the historical contract), a mirrored pattern with unmirrored values
+// becomes a structurally-symmetric Matrix, and anything else takes the lower
+// triangle as before. Check SymmetryClass when the distinction matters.
 func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
 	c, err := matrix.ReadMatrixMarket(r)
 	if err != nil {
 		return nil, err
 	}
 	if !c.Symmetric {
-		c, err = c.ToLowerSymmetric()
-		if err != nil {
-			return nil, err
-		}
+		return fromGeneral(c)
 	}
 	return fromCOO(c)
 }
 
-// ReadMatrixMarketFile loads a .mtx file.
+// ReadMatrixMarketFile loads a .mtx file (see ReadMatrixMarket for how
+// general files are classified).
 func ReadMatrixMarketFile(path string) (*Matrix, error) {
 	c, err := matrix.ReadMatrixMarketFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if !c.Symmetric {
-		c, err = c.ToLowerSymmetric()
-		if err != nil {
-			return nil, err
-		}
+		return fromGeneral(c)
 	}
 	return fromCOO(c)
 }
@@ -226,7 +263,14 @@ func (a *Matrix) ReorderRCM() (*Matrix, []int32, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := fromCOO(pm)
+	// A structural matrix keeps general COO storage; re-classify the permuted
+	// pattern (a symmetric permutation preserves the class) instead of forcing
+	// it through the lower-triangle-only path.
+	build := fromCOO
+	if a.sss.Kind == core.Structural {
+		build = fromGeneral
+	}
+	out, err := build(pm)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -352,6 +396,20 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 	if o.threads < 1 {
 		return nil, errors.New("symspmv: thread count must be positive")
 	}
+	if a.sss.Kind != core.Sym {
+		// The unsymmetric baselines expand to a full general matrix, so they
+		// run any class; of the symmetric formats only the kind-generalized
+		// SSS methods do. CSX-Sym, CSB-Sym and the atomic ablation hard-code
+		// the +Aᵀ transposed write and would compute the wrong operator.
+		switch f {
+		case CSR, CSX, BCSR, SSSNaive, SSSEffective, SSSIndexed, SSSColored:
+		default:
+			return nil, fmt.Errorf("symspmv: the %v format supports only symmetric matrices, got a %s one", f, a.sss.Kind)
+		}
+		if o.hub {
+			return nil, fmt.Errorf("symspmv: HubCache supports only symmetric matrices, got a %s one", a.sss.Kind)
+		}
+	}
 	var hubPlan *hub.Plan
 	if o.hub {
 		switch f {
@@ -376,7 +434,7 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 			pool.Close()
 		}
 	}()
-	k := &boundKernel{format: f, pool: pool, n: a.sss.N}
+	k := &boundKernel{format: f, pool: pool, n: a.sss.N, kind: a.sss.Kind}
 	switch f {
 	case CSR:
 		pk := csr.NewParallel(csr.FromCOO(a.coo), pool)
@@ -411,7 +469,9 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 		}
 		k.mul = kk.MulVec
 		k.mulDot = kk.MulVecDot
-		if method != core.Atomic {
+		if method != core.Atomic && a.sss.Kind == core.Sym {
+			// The multi-RHS bodies have no kind-generalized variant; leaving
+			// mulMat nil keeps SupportsMulMat honest for skew/structural.
 			k.mulMat = kk.MulMat
 		}
 		k.bytes = a.sss.Bytes()
@@ -450,6 +510,7 @@ func (a *Matrix) Kernel(f Format, options ...Option) (Kernel, error) {
 
 type boundKernel struct {
 	format Format
+	kind   core.SymKind // symmetry class of the source matrix
 	pool   *parallel.Pool
 	mul    func(x, y []float64)
 	mulDot func(x, y []float64) float64 // fused y=A·x + xᵀy; nil when unsupported
@@ -639,6 +700,14 @@ func checkKernel(k Kernel, b, x []float64, op string) (*boundKernel, error) {
 	bk, ok := k.(*boundKernel)
 	if !ok {
 		return nil, fmt.Errorf("symspmv: %s requires a Kernel from Matrix.Kernel", op)
+	}
+	if bk.kind != core.Sym {
+		// CG requires a symmetric positive definite operator. A
+		// skew-symmetric one never is (xᵀAx = 0 identically), and a
+		// structurally symmetric one is not even symmetric — fail up front
+		// with the class instead of letting the recurrence break down (or the
+		// Jacobi preconditioner read the absent diagonal).
+		return nil, fmt.Errorf("symspmv: %s requires a symmetric positive definite operator, got a %s matrix", op, bk.kind)
 	}
 	if bk.isClosed() {
 		return nil, fmt.Errorf("symspmv: %s on closed Kernel", op)
